@@ -1,0 +1,56 @@
+// Command mfexp regenerates the paper's evaluation figures (5..12) as text
+// tables: one row per x-axis point, one column per heuristic/solver series
+// (mean period over the random draws, or mean ratio for Figure 11).
+//
+// Usage:
+//
+//	mfexp -fig 5            # one figure, paper-scale draws
+//	mfexp -all -draws 5     # all figures, 5 draws per point (quick)
+//	mfexp -fig 10 -mip-time 5s
+//
+// Campaigns are deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"microfab/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure number (5..12)")
+		all     = flag.Bool("all", false, "run every figure")
+		draws   = flag.Int("draws", 0, "random draws per point (0 = the paper's count)")
+		thin    = flag.Int("thin", 0, "keep every k-th x point (0 = all)")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		mipTime = flag.Duration("mip-time", 10*time.Second, "time budget per exact MIP solve")
+	)
+	flag.Parse()
+	cfg := experiments.Config{
+		Draws: *draws, Thin: *thin, Seed: *seed, MIPTimeLimit: *mipTime,
+	}
+	var figs []int
+	switch {
+	case *all:
+		figs = experiments.Numbers()
+	case *fig != 0:
+		figs = []int{*fig}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, n := range figs {
+		start := time.Now()
+		r, err := experiments.Figure(n, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mfexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.Render(r))
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

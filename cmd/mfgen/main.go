@@ -1,0 +1,82 @@
+// Command mfgen generates random problem instances with the paper's
+// campaign parameters and writes them as JSON for cmd/microfab and
+// cmd/mfsim.
+//
+// Usage:
+//
+//	mfgen -n 20 -p 4 -m 10 [-seed 1] [-fmin 0.005 -fmax 0.02]
+//	      [-wmin 100 -wmax 1000] [-task-only] [-branches 0] [-out inst.json]
+//
+// With -branches >= 2 an in-tree with that many branches is generated
+// instead of a linear chain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/instance"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20, "number of tasks")
+		p        = flag.Int("p", 4, "number of task types")
+		m        = flag.Int("m", 10, "number of machines")
+		seed     = flag.Int64("seed", 1, "random seed")
+		wmin     = flag.Float64("wmin", 100, "minimum execution time (ms)")
+		wmax     = flag.Float64("wmax", 1000, "maximum execution time (ms)")
+		fmin     = flag.Float64("fmin", 0.005, "minimum failure rate")
+		fmax     = flag.Float64("fmax", 0.02, "maximum failure rate")
+		taskOnly = flag.Bool("task-only", false, "failures depend on the task only (f[i][u] = f[i])")
+		cyclic   = flag.Bool("cyclic", false, "lay types cyclically along the chain instead of randomly")
+		branches = flag.Int("branches", 0, "if >= 2, generate an in-tree with this many branches")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*n, *p, *m, *seed, *wmin, *wmax, *fmin, *fmax, *taskOnly, *cyclic, *branches, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "mfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, p, m int, seed int64, wmin, wmax, fmin, fmax float64, taskOnly, cyclic bool, branches int, out string) error {
+	pr := gen.Params{
+		N: n, P: p, M: m,
+		WMin: wmin, WMax: wmax,
+		FMin: fmin, FMax: fmax,
+		TaskOnlyFailures: taskOnly,
+	}
+	if cyclic {
+		pr.TypeAssignment = gen.CyclicTypes
+	}
+	comment := fmt.Sprintf("mfgen -n %d -p %d -m %d -seed %d -wmin %g -wmax %g -fmin %g -fmax %g",
+		n, p, m, seed, wmin, wmax, fmin, fmax)
+	rng := gen.RNG(seed)
+	var (
+		in  *core.Instance
+		err error
+	)
+	if branches >= 2 {
+		in, err = gen.InTree(pr, branches, rng)
+		comment += fmt.Sprintf(" -branches %d", branches)
+	} else {
+		in, err = gen.Chain(pr, rng)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return instance.FromInstance(in, comment).Write(w)
+}

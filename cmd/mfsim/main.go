@@ -1,0 +1,111 @@
+// Command mfsim runs the discrete-event micro-factory simulator on a
+// mapped instance: products flow through the machines, are lost with the
+// modelled failure rates, and the empirical throughput is compared with
+// the analytic 1/period.
+//
+// Usage:
+//
+//	mfsim -in instance.json [-map mapping.json] [-method H4w]
+//	      [-xout 1000] [-margin 1.2] [-seed 1] [-policy downstream]
+//
+// Without -map the instance is first solved with -method.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	microfab "microfab"
+	"microfab/internal/core"
+	"microfab/internal/instance"
+	"microfab/internal/platform"
+	"microfab/internal/sim"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "instance JSON file (required)")
+		mapPath = flag.String("map", "", "mapping JSON file (default: solve with -method)")
+		method  = flag.String("method", "H4w", "solver when no -map is given")
+		xout    = flag.Float64("xout", 1000, "target finished products")
+		margin  = flag.Float64("margin", 1.2, "raw-product batch safety margin")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		policy  = flag.String("policy", "downstream", "machine service policy: downstream | roundrobin")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *mapPath, *method, *xout, *margin, *seed, *policy); err != nil {
+		fmt.Fprintln(os.Stderr, "mfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, mapPath, method string, xout, margin float64, seed int64, policy string) error {
+	in, err := instance.Load(inPath)
+	if err != nil {
+		return err
+	}
+	var mp *core.Mapping
+	if mapPath != "" {
+		f, err := os.Open(mapPath)
+		if err != nil {
+			return err
+		}
+		mp, err = instance.ReadMapping(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		mp, err = microfab.Solve(in, method, seed)
+		if err != nil {
+			return err
+		}
+	}
+	ev, err := microfab.Evaluate(in, mp)
+	if err != nil {
+		return err
+	}
+	batches, err := microfab.PlanBatches(in, mp, xout, margin)
+	if err != nil {
+		return err
+	}
+	opt := sim.Options{Inputs: batches, Seed: seed}
+	switch policy {
+	case "downstream":
+		opt.Policy = sim.DownstreamFirst
+	case "roundrobin":
+		opt.Policy = sim.RoundRobin
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	st, err := microfab.Simulate(in, mp, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("instance   : %s on %d machines\n", in.App, in.M())
+	fmt.Printf("mapping    : %s\n", mp)
+	fmt.Printf("analytic   : period %.2f ms, throughput %.6f/ms\n", ev.Period, ev.Throughput)
+	fmt.Printf("batches    : %v raw products (margin %.2f)\n", batches, margin)
+	fmt.Printf("simulated  : %d outputs in %.0f ms -> throughput %.6f/ms (%.1f%% of analytic)\n",
+		st.Outputs, st.Time, st.Throughput, 100*st.Throughput*ev.Period)
+	fmt.Printf("events     : %d, drained: %v\n", st.Events, st.Drained)
+	var losses int64
+	for _, l := range st.LossesPerTask {
+		losses += l
+	}
+	fmt.Printf("losses     : %d products destroyed\n", losses)
+	for u := 0; u < in.M(); u++ {
+		mu := platform.MachineID(u)
+		if st.BusyTime[u] == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s busy %6.1f%%\n", in.Platform.Name(mu), 100*st.Utilization(mu))
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command microfab solves a mapping problem instance: it reads an instance
+// JSON file (see cmd/mfgen to create one), runs the requested method, and
+// prints the mapping, per-machine periods and throughput. The mapping can
+// also be written to a JSON file for cmd/mfsim.
+//
+// Usage:
+//
+//	microfab -in instance.json [-method H4w] [-rule specialized]
+//	         [-seed 1] [-out mapping.json]
+//
+// Methods: H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy
+// (see package microfab's Solve for their meaning).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	microfab "microfab"
+	"microfab/internal/core"
+	"microfab/internal/instance"
+	"microfab/internal/platform"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "instance JSON file (required)")
+		method  = flag.String("method", "H4w", "solving method (H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy)")
+		rule    = flag.String("rule", "specialized", "rule to validate the result against: one-to-one | specialized | general")
+		seed    = flag.Int64("seed", 1, "random seed (H1 only)")
+		outPath = flag.String("out", "", "write the mapping as JSON to this file")
+		xout    = flag.Float64("xout", 0, "if > 0, also print the input plan for this many finished products")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*inPath, *method, *rule, *seed, *outPath, *xout); err != nil {
+		fmt.Fprintln(os.Stderr, "microfab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, method, ruleName string, seed int64, outPath string, xout float64) error {
+	in, err := instance.Load(inPath)
+	if err != nil {
+		return err
+	}
+	var rule core.Rule
+	switch ruleName {
+	case "one-to-one":
+		rule = core.OneToOne
+	case "specialized":
+		rule = core.Specialized
+	case "general":
+		rule = core.GeneralRule
+	default:
+		return fmt.Errorf("unknown rule %q", ruleName)
+	}
+
+	mp, err := microfab.Solve(in, method, seed)
+	if err != nil {
+		return err
+	}
+	if err := mp.CheckRule(in.App, rule); err != nil {
+		return fmt.Errorf("%s produced a mapping outside rule %s: %w", method, ruleName, err)
+	}
+	ev, err := microfab.Evaluate(in, mp)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("instance : %s on %d machines\n", in.App, in.M())
+	fmt.Printf("method   : %s (rule %s)\n", method, ruleName)
+	fmt.Printf("mapping  : %s\n", mp)
+	fmt.Printf("period   : %.2f ms (critical machine %s)\n", ev.Period, in.Platform.Name(ev.Critical))
+	fmt.Printf("throughput: %.6f products/ms\n", ev.Throughput)
+	for u, p := range ev.MachinePeriods {
+		if p == 0 {
+			continue
+		}
+		mu := platform.MachineID(u)
+		fmt.Printf("  %-6s %10.2f ms  tasks %v\n", in.Platform.Name(mu), p, mp.TasksOn(mu))
+	}
+	if xout > 0 {
+		plan, err := microfab.PlanInputs(in, mp, xout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inputs for %.0f products: %.1f raw products total\n", xout, plan.Total)
+		for k, v := range plan.PerSource {
+			fmt.Printf("  source %d: %.1f\n", k, v)
+		}
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := instance.WriteMapping(f, mp, "produced by cmd/microfab -method "+method); err != nil {
+			return err
+		}
+		fmt.Printf("mapping written to %s\n", outPath)
+	}
+	return nil
+}

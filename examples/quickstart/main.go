@@ -1,0 +1,96 @@
+// Quickstart: build a small micro-factory problem by hand, map it with the
+// paper's best heuristic (H4w), inspect the result and check it against
+// the exact optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	microfab "microfab"
+)
+
+func main() {
+	// A five-task linear chain with three operation types, as in the
+	// paper's running examples: t(1)=t(3)=t(5)=1 and t(2)=t(4)=2 (0-based
+	// here: types 0 and 1), plus a final inspection type.
+	app, err := microfab.NewChainApplication([]microfab.TypeID{0, 1, 0, 1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four machines. Tasks of the same type share execution times on a
+	// machine (same physical operation), so rows repeat per type.
+	// Times in ms.
+	typeTimes := [][]float64{
+		{120, 250, 400, 300}, // type 0: e.g. pick-and-place
+		{500, 180, 350, 420}, // type 1: e.g. gluing
+		{200, 200, 150, 600}, // type 2: e.g. inspection
+	}
+	w := make([][]float64, app.NumTasks())
+	for i := 0; i < app.NumTasks(); i++ {
+		w[i] = typeTimes[app.Type(microfab.TaskID(i))]
+	}
+	plat, err := microfab.NewPlatform(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Failure rates attached to the (task, machine) couple — the paper's
+	// model. A machine can be fast but clumsy on a given operation.
+	f := [][]float64{
+		{0.010, 0.020, 0.005, 0.015},
+		{0.020, 0.008, 0.012, 0.030},
+		{0.010, 0.020, 0.005, 0.015},
+		{0.020, 0.008, 0.012, 0.030},
+		{0.002, 0.004, 0.050, 0.001},
+	}
+	fail, err := microfab.NewFailureMatrix(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in, err := microfab.NewInstance(app, plat, fail)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Map with H4w — the paper's winner: pick fast machines, ignore
+	// failure rates in the choice ("if we produce fast enough we
+	// overcome the faults").
+	mp, err := microfab.Solve(in, "H4w", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := microfab.Evaluate(in, mp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("H4w mapping :", mp)
+	fmt.Printf("period      : %.1f ms  (throughput %.2f products/s)\n",
+		ev.Period, ev.Throughput*1000)
+	for i, x := range ev.ProductCounts {
+		fmt.Printf("  task T%d starts %.3f products per finished one\n", i+1, x)
+	}
+
+	// How many raw products to feed in for 1000 finished ones?
+	plan, err := microfab.PlanInputs(in, mp, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inputs      : %.0f raw products for 1000 finished\n", plan.Total)
+
+	// Compare with the exact optimum (this instance is tiny).
+	opt, err := microfab.Solve(in, "exact", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evOpt, err := microfab.Evaluate(in, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimum     : %.1f ms — H4w is at factor %.3f\n",
+		evOpt.Period, ev.Period/evOpt.Period)
+}

@@ -1,0 +1,135 @@
+// Watch assembly: an in-tree workload in the spirit of the paper's
+// micro-factory motivation. Two sub-assemblies — a gear train and a case —
+// are produced on separate branches and merged by a final assembly task;
+// physical products cannot be duplicated, so the graph joins but never
+// forks. The example maps the tree, verifies the join arithmetic (each
+// finished watch consumes one product from every branch) and runs the
+// discrete-event simulator to watch real losses.
+//
+// Run with: go run ./examples/watchassembly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	microfab "microfab"
+)
+
+const (
+	tyMill    microfab.TypeID = 0 // micro-milling
+	tyPress   microfab.TypeID = 1 // press-fitting
+	tyGlue    microfab.TypeID = 2 // adhesive bonding
+	tyInspect microfab.TypeID = 3 // optical inspection
+)
+
+func main() {
+	b := microfab.NewBuilder()
+	// Branch 1: gear train — mill, press, inspect.
+	gearMill := b.AddTask(tyMill, "mill-gears")
+	gearFit := b.AddTask(tyPress, "fit-gears")
+	gearOK := b.AddTask(tyInspect, "inspect-gears")
+	b.AddDep(gearMill, gearFit)
+	b.AddDep(gearFit, gearOK)
+	// Branch 2: case — mill, glue crystal.
+	caseMill := b.AddTask(tyMill, "mill-case")
+	caseGlue := b.AddTask(tyGlue, "glue-crystal")
+	b.AddDep(caseMill, caseGlue)
+	// Join: drop the gear train into the case, then final inspection.
+	assemble := b.Join(tyPress, "assemble", gearOK, caseGlue)
+	final := b.AddTask(tyInspect, "final-inspection")
+	b.AddDep(assemble, final)
+
+	app, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("application :", app, "— sources:", app.Sources())
+
+	// Five cells. Times per type (ms): the milling cell is fast at
+	// milling, the bonding cell at gluing, and so on.
+	typeTimes := map[microfab.TypeID][]float64{
+		tyMill:    {150, 700, 650, 800, 500},
+		tyPress:   {600, 200, 550, 650, 450},
+		tyGlue:    {900, 800, 250, 700, 600},
+		tyInspect: {500, 450, 600, 180, 400},
+	}
+	w := make([][]float64, app.NumTasks())
+	for i := 0; i < app.NumTasks(); i++ {
+		w[i] = typeTimes[app.Type(microfab.TaskID(i))]
+	}
+	plat, err := microfab.NewPlatform(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"millbot", "pressbot", "gluebot", "visionbot", "flexbot"}
+	for u, n := range names {
+		plat.SetName(microfab.MachineID(u), n)
+	}
+
+	// Electrostatic pick-up losses: higher on fiddly press-fits, lower
+	// on inspection. Rates attached to (task, machine).
+	f := make([][]float64, app.NumTasks())
+	base := map[microfab.TypeID]float64{tyMill: 0.01, tyPress: 0.04, tyGlue: 0.02, tyInspect: 0.005}
+	for i := 0; i < app.NumTasks(); i++ {
+		f[i] = make([]float64, 5)
+		for u := range f[i] {
+			// Each machine's clumsiness scales the type's base rate.
+			f[i][u] = base[app.Type(microfab.TaskID(i))] * (0.5 + float64((i+u)%3))
+		}
+	}
+	fail, err := microfab.NewFailureMatrix(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := microfab.NewInstance(app, plat, fail)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the heuristics on this tree, then keep the best.
+	best, bestName := "", ""
+	var bestMap *microfab.Mapping
+	bestPeriod := 0.0
+	for _, h := range []string{"H1", "H2", "H3", "H4", "H4w", "H4f"} {
+		mp, err := microfab.Solve(in, h, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := microfab.Evaluate(in, mp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4s period %7.1f ms\n", h, ev.Period)
+		if bestMap == nil || ev.Period < bestPeriod {
+			bestMap, bestPeriod, bestName = mp, ev.Period, h
+		}
+		_ = best
+	}
+	fmt.Printf("best        : %s at %.1f ms\n", bestName, bestPeriod)
+
+	// Input plan: a join consumes one unit from each branch, so both
+	// sources must be fed.
+	plan, err := microfab.PlanInputs(in, bestMap, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, v := range plan.PerSource {
+		fmt.Printf("source %d    : feed %.1f raw products for 500 watches\n", k, v)
+	}
+
+	// Simulate the factory: real Bernoulli losses, join buffers, FIFO
+	// cells.
+	batches, err := microfab.PlanBatches(in, bestMap, 500, 1.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := microfab.Simulate(in, bestMap, microfab.SimOptions{Inputs: batches, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated   : %d watches out of batches %v in %.0f s\n",
+		st.Outputs, batches, st.Time/1000)
+	fmt.Printf("throughput  : %.4f watches/s simulated vs %.4f analytic\n",
+		st.Throughput*1000, 1/bestPeriod*1000)
+}

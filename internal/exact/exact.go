@@ -1,0 +1,190 @@
+// Package exact solves small mapping instances to optimality by
+// depth-first branch and bound over task-to-machine assignments. It is
+// independent of the MIP path (package milp), so the two exact solvers
+// cross-validate each other in tests; heuristics are benchmarked against
+// either.
+//
+// The search walks tasks root-first (so x[i] is priced exactly as tasks are
+// placed, exactly like the heuristics) and prunes a branch as soon as the
+// maximum machine load reaches the incumbent period. Worst-case cost is
+// m^n; with pruning it handles the paper's MIP-scale instances
+// (n <= 15, m <= 9) comfortably.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// Options bounds the search.
+type Options struct {
+	// Rule defaults to Specialized.
+	Rule core.Rule
+	// MaxNodes caps explored partial assignments (0 = 50 million).
+	MaxNodes int64
+	// TimeLimit stops the search (0 = none). On stop the best incumbent
+	// so far is returned with Proven=false.
+	TimeLimit time.Duration
+	// Incumbent optionally warm-starts the bound.
+	Incumbent *core.Mapping
+}
+
+func (o Options) maxNodes() int64 {
+	if o.MaxNodes > 0 {
+		return o.MaxNodes
+	}
+	return 50_000_000
+}
+
+// Result is the search outcome.
+type Result struct {
+	Mapping *core.Mapping
+	Period  float64
+	// Proven is true when the search space was exhausted.
+	Proven bool
+	Nodes  int64
+}
+
+type searcher struct {
+	in    *core.Instance
+	rule  core.Rule
+	order []app.TaskID
+	m     int
+
+	spec   []app.TypeID // Specialized bookkeeping (-1 free)
+	used   []bool       // OneToOne bookkeeping
+	load   []float64
+	x      []float64
+	assign []platform.MachineID
+
+	best       *core.Mapping
+	bestPeriod float64
+	nodes      int64
+	maxNodes   int64
+	deadline   time.Time
+	stopped    bool
+}
+
+const noType app.TypeID = -1
+
+// Solve finds an optimal mapping under the rule, or the best incumbent when
+// a budget interrupts the search.
+func Solve(in *core.Instance, opts Options) (*Result, error) {
+	if in.N() == 0 {
+		return nil, fmt.Errorf("exact: empty instance")
+	}
+	if opts.Rule == core.OneToOne && in.N() > in.M() {
+		return nil, fmt.Errorf("exact: one-to-one impossible with n=%d > m=%d", in.N(), in.M())
+	}
+	s := &searcher{
+		in:         in,
+		rule:       opts.Rule,
+		order:      in.App.ReverseTopological(),
+		m:          in.M(),
+		spec:       make([]app.TypeID, in.M()),
+		used:       make([]bool, in.M()),
+		load:       make([]float64, in.M()),
+		x:          make([]float64, in.N()),
+		assign:     make([]platform.MachineID, in.N()),
+		bestPeriod: math.Inf(1),
+		maxNodes:   opts.maxNodes(),
+	}
+	for u := range s.spec {
+		s.spec[u] = noType
+	}
+	for i := range s.assign {
+		s.assign[i] = platform.NoMachine
+	}
+	if opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opts.TimeLimit)
+	}
+	if opts.Incumbent != nil {
+		if err := opts.Incumbent.CheckRule(in.App, opts.Rule); err == nil {
+			if p := core.Period(in, opts.Incumbent); p < s.bestPeriod {
+				s.bestPeriod = p
+				s.best = opts.Incumbent.Clone()
+			}
+		}
+	}
+	s.dfs(0, 0)
+	if s.best == nil {
+		return nil, fmt.Errorf("exact: no feasible mapping under rule %v", opts.Rule)
+	}
+	return &Result{
+		Mapping: s.best,
+		Period:  s.bestPeriod,
+		Proven:  !s.stopped,
+		Nodes:   s.nodes,
+	}, nil
+}
+
+func (s *searcher) dfs(k int, maxLoad float64) {
+	if s.stopped {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%4096 == 0 && time.Now().After(s.deadline)) {
+		s.stopped = true
+		return
+	}
+	if k == len(s.order) {
+		if maxLoad < s.bestPeriod {
+			s.bestPeriod = maxLoad
+			s.best = core.FromSlice(s.assign)
+		}
+		return
+	}
+	i := s.order[k]
+	ty := s.in.App.Type(i)
+	demand := 1.0
+	if succ := s.in.App.Successor(i); succ != app.NoTask {
+		demand = s.x[succ]
+	}
+	// Symmetry note: free machines are NOT interchangeable (heterogeneous
+	// w and f), so all are tried.
+	for u := 0; u < s.m; u++ {
+		mu := platform.MachineID(u)
+		switch s.rule {
+		case core.OneToOne:
+			if s.used[u] {
+				continue
+			}
+		case core.Specialized:
+			if s.spec[u] != noType && s.spec[u] != ty {
+				continue
+			}
+		}
+		xi := demand * s.in.Failures.Inflation(i, mu)
+		add := xi * s.in.Platform.Time(i, mu)
+		newLoad := s.load[u] + add
+		if newLoad >= s.bestPeriod {
+			continue // this branch can only tie or worsen the incumbent
+		}
+		worst := maxLoad
+		if newLoad > worst {
+			worst = newLoad
+		}
+		// Apply.
+		prevSpec, prevUsed := s.spec[u], s.used[u]
+		s.spec[u] = ty
+		s.used[u] = true
+		s.load[u] = newLoad
+		s.x[i] = xi
+		s.assign[i] = mu
+
+		s.dfs(k+1, worst)
+
+		// Revert.
+		s.spec[u], s.used[u] = prevSpec, prevUsed
+		s.load[u] = newLoad - add
+		s.assign[i] = platform.NoMachine
+		if s.stopped {
+			return
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7). Each FigN function reproduces one plot: it draws random
+// campaigns with the paper's parameters, runs the heuristics (and, where
+// the paper does, the exact MIP or the optimal one-to-one solver), and
+// returns the series of mean periods the paper charts.
+//
+// The paper's campaigns average 30 random draws per point (100 for
+// Figure 9); Config.Draws scales this down for quick runs. Everything is
+// deterministic given Config.Seed.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"microfab/internal/core"
+	"microfab/internal/exact"
+	"microfab/internal/gen"
+	"microfab/internal/heuristics"
+	"microfab/internal/milp"
+	"microfab/internal/oto"
+	"microfab/internal/stats"
+)
+
+// Config scales a campaign.
+type Config struct {
+	// Draws is the number of random instances per point (0 = the paper's
+	// count for that figure).
+	Draws int
+	// Seed drives all random draws (0 = 1).
+	Seed int64
+	// Thin keeps every k-th x-axis point (0 or 1 = all points).
+	Thin int
+	// MIPTimeLimit bounds each exact solve (0 = 10s).
+	MIPTimeLimit time.Duration
+	// MIPMaxNodes bounds each exact solve's search (0 = 100000).
+	MIPMaxNodes int
+}
+
+func (c Config) seed() int64 {
+	if c.Seed != 0 {
+		return c.Seed
+	}
+	return 1
+}
+
+func (c Config) draws(paper int) int {
+	if c.Draws > 0 {
+		return c.Draws
+	}
+	return paper
+}
+
+func (c Config) thin(xs []int) []int {
+	if c.Thin <= 1 {
+		return xs
+	}
+	var out []int
+	for i := 0; i < len(xs); i += c.Thin {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+func (c Config) mipTime() time.Duration {
+	if c.MIPTimeLimit > 0 {
+		return c.MIPTimeLimit
+	}
+	return 10 * time.Second
+}
+
+func (c Config) mipNodes() int {
+	if c.MIPMaxNodes > 0 {
+		return c.MIPMaxNodes
+	}
+	return 100000
+}
+
+// Point is one x-axis position of a figure.
+type Point struct {
+	X int
+	// Series maps a series name (heuristic, "MIP", "OtO") to the summary
+	// of its periods (or ratios, for Figure 11) over the draws.
+	Series map[string]stats.Summary
+	// Solved counts exact solves that proved optimality at this point
+	// (MIP figures only).
+	Solved int
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	ID, Title   string
+	XLabel      string
+	YLabel      string
+	SeriesOrder []string
+	Points      []Point
+	Draws       int
+	Seed        int64
+}
+
+// runHeuristic names a heuristic and produces its period on an instance.
+func runHeuristic(name string, in *core.Instance, seed int64) (float64, error) {
+	h, err := heuristics.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	mp, err := h.Fn(in, gen.RNG(seed), heuristics.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return core.Period(in, mp), nil
+}
+
+// sweep runs a heuristic-only campaign over x-axis values.
+func sweep(cfg Config, id, title, xlabel string, xs []int, names []string, paperDraws int,
+	draw func(x int, rng int64) (*core.Instance, error)) (*Result, error) {
+	res := &Result{
+		ID: id, Title: title, XLabel: xlabel, YLabel: "period (ms)",
+		SeriesOrder: names, Draws: cfg.draws(paperDraws), Seed: cfg.seed(),
+	}
+	for _, x := range cfg.thin(xs) {
+		pt := Point{X: x, Series: map[string]stats.Summary{}}
+		samples := map[string][]float64{}
+		for d := 0; d < res.Draws; d++ {
+			sub := gen.SubSeed(res.Seed, int64(x), int64(d))
+			in, err := draw(x, sub)
+			if err != nil {
+				return nil, fmt.Errorf("%s: x=%d draw=%d: %w", id, x, d, err)
+			}
+			for _, name := range names {
+				p, err := runHeuristic(name, in, gen.SubSeed(sub, 999))
+				if err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", id, name, err)
+				}
+				samples[name] = append(samples[name], p)
+			}
+		}
+		for _, name := range names {
+			pt.Series[name] = stats.Summarize(samples[name])
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func rangeInts(lo, hi, step int) []int {
+	var out []int
+	for x := lo; x <= hi; x += step {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Fig5 — specialized mappings, m=50 machines, p=5 types, n=50..150 tasks;
+// all six heuristics. Paper finding: H1 and H4f are far behind the rest.
+func Fig5(cfg Config) (*Result, error) {
+	return sweep(cfg, "fig5", "Specialized mappings, m=50, p=5", "number of tasks",
+		rangeInts(50, 150, 10),
+		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, 30,
+		func(n int, seed int64) (*core.Instance, error) {
+			return gen.Chain(gen.Default(n, 5, 50), gen.RNG(seed))
+		})
+}
+
+// Fig6 — specialized mappings, m=10, p=2, n=10..100; H2, H3, H4, H4w.
+// Paper finding: H4 sits slightly under the others (its f factor).
+func Fig6(cfg Config) (*Result, error) {
+	return sweep(cfg, "fig6", "Specialized mappings, m=10, p=2", "number of tasks",
+		rangeInts(10, 100, 10),
+		[]string{"H2", "H3", "H4", "H4w"}, 30,
+		func(n int, seed int64) (*core.Instance, error) {
+			return gen.Chain(gen.Default(n, 2, 10), gen.RNG(seed))
+		})
+}
+
+// Fig7 — specialized mappings on a large platform, m=100, p=5, n=100..200;
+// H2, H3, H4w. Paper finding: H4w is the best.
+func Fig7(cfg Config) (*Result, error) {
+	return sweep(cfg, "fig7", "Specialized mappings, m=100, p=5", "number of tasks",
+		rangeInts(100, 200, 10),
+		[]string{"H2", "H3", "H4w"}, 30,
+		func(n int, seed int64) (*core.Instance, error) {
+			return gen.Chain(gen.Default(n, 5, 100), gen.RNG(seed))
+		})
+}
+
+// Fig8 — high-failure campaign: m=10, p=5, f in [0, 0.1], n=10..100, all
+// heuristics. Paper finding: periods blow up with n and only H2 resists.
+func Fig8(cfg Config) (*Result, error) {
+	return sweep(cfg, "fig8", "High failure rates (f <= 10%), m=10, p=5", "number of tasks",
+		rangeInts(10, 100, 10),
+		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, 30,
+		func(n int, seed int64) (*core.Instance, error) {
+			pr := gen.Default(n, 5, 10)
+			pr.FMin, pr.FMax = 0, 0.1
+			return gen.Chain(pr, gen.RNG(seed))
+		})
+}
+
+// Fig9 — one-to-one regime: m=100 machines, n=100 tasks, task-only
+// failures (f[i][u] = f[i]); the x axis is the number of types
+// p = 20..100. Series: H2, H3, H4w and the optimal one-to-one mapping
+// (bottleneck assignment; "OtO"). Paper findings: H4w is closest to
+// optimal (factor ~1.28 on average) and all heuristics converge as p → m.
+func Fig9(cfg Config) (*Result, error) {
+	names := []string{"H2", "H3", "H4w"}
+	res := &Result{
+		ID: "fig9", Title: "One-to-one regime, m=100, n=100, f[i][u]=f[i]",
+		XLabel: "number of types", YLabel: "period (ms)",
+		SeriesOrder: append(append([]string{}, names...), "OtO"),
+		Draws:       cfg.draws(100), Seed: cfg.seed(),
+	}
+	for _, p := range cfg.thin(rangeInts(20, 100, 10)) {
+		pt := Point{X: p, Series: map[string]stats.Summary{}}
+		samples := map[string][]float64{}
+		for d := 0; d < res.Draws; d++ {
+			sub := gen.SubSeed(res.Seed, int64(p), int64(d))
+			pr := gen.Default(100, p, 100)
+			pr.TaskOnlyFailures = true
+			in, err := gen.Chain(pr, gen.RNG(sub))
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range names {
+				v, err := runHeuristic(name, in, gen.SubSeed(sub, 999))
+				if err != nil {
+					return nil, err
+				}
+				samples[name] = append(samples[name], v)
+			}
+			mp, err := oto.OptimalTaskOnly(in)
+			if err != nil {
+				return nil, err
+			}
+			samples["OtO"] = append(samples["OtO"], core.Period(in, mp))
+		}
+		for _, name := range res.SeriesOrder {
+			pt.Series[name] = stats.Summarize(samples[name])
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// mipSweep shares the Figure 10/11/12 logic: heuristics plus the exact MIP
+// (warm-started with the best heuristic mapping). When normalize is true
+// the series hold per-draw heuristic/MIP period ratios (Figure 11);
+// otherwise raw periods. Draws where the MIP fails to prove optimality
+// within its budget are dropped, mirroring the paper's "results reported
+// only if enough successful MIP runs" rule; Point.Solved counts successes.
+func mipSweep(cfg Config, id, title string, xs []int, m, p int, names []string, normalize bool) (*Result, error) {
+	ylabel := "period (ms)"
+	if normalize {
+		ylabel = "period / MIP period"
+	}
+	order := append(append([]string{}, names...), "MIP")
+	if normalize {
+		order = names
+	}
+	res := &Result{
+		ID: id, Title: title, XLabel: "number of tasks", YLabel: ylabel,
+		SeriesOrder: order, Draws: cfg.draws(30), Seed: cfg.seed(),
+	}
+	for _, n := range cfg.thin(xs) {
+		pt := Point{X: n, Series: map[string]stats.Summary{}}
+		samples := map[string][]float64{}
+		for d := 0; d < res.Draws; d++ {
+			sub := gen.SubSeed(res.Seed, int64(n), int64(d))
+			in, err := gen.Chain(gen.Default(n, p, m), gen.RNG(sub))
+			if err != nil {
+				return nil, err
+			}
+			periods := map[string]float64{}
+			var warm *core.Mapping
+			warmPeriod := math.Inf(1)
+			for _, name := range names {
+				h, err := heuristics.Get(name)
+				if err != nil {
+					return nil, err
+				}
+				mp, err := h.Fn(in, gen.RNG(gen.SubSeed(sub, 999)), heuristics.Options{})
+				if err != nil {
+					return nil, err
+				}
+				v := core.Period(in, mp)
+				periods[name] = v
+				if v < warmPeriod {
+					warmPeriod = v
+					warm = mp
+				}
+			}
+			// Strengthen the incumbent with a short DFS burst (the
+			// independent exact solver); a near-optimal warm start
+			// lets the branch and bound spend its budget proving the
+			// bound instead of hunting for solutions.
+			if eres, err := exact.Solve(in, exact.Options{
+				Rule:      core.Specialized,
+				Incumbent: warm,
+				TimeLimit: cfg.mipTime() / 5,
+			}); err == nil && eres.Period < warmPeriod {
+				warm, warmPeriod = eres.Mapping, eres.Period
+			}
+			mres, err := milp.Solve(in, milp.Options{
+				Rule:      core.Specialized,
+				WarmStart: warm,
+				TimeLimit: cfg.mipTime(),
+				MaxNodes:  cfg.mipNodes(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: n=%d draw=%d: %w", id, n, d, err)
+			}
+			if !mres.Proven || mres.Mapping == nil {
+				continue // budget exceeded: the paper drops such draws too
+			}
+			pt.Solved++
+			for _, name := range names {
+				v := periods[name]
+				if normalize {
+					v /= mres.Period
+				}
+				samples[name] = append(samples[name], v)
+			}
+			if !normalize {
+				samples["MIP"] = append(samples["MIP"], mres.Period)
+			}
+		}
+		for _, name := range res.SeriesOrder {
+			pt.Series[name] = stats.Summarize(samples[name])
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Fig10 — small instances, m=5 machines, p=2 types, n=2..15 tasks, all six
+// heuristics against the exact MIP optimum. Paper finding: H4w is again
+// the best heuristic; H2 and H4 are close.
+func Fig10(cfg Config) (*Result, error) {
+	return mipSweep(cfg, "fig10", "Heuristics vs MIP, m=5, p=2",
+		rangeInts(2, 15, 1), 5, 2,
+		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, false)
+}
+
+// Fig11 — the Figure 10 campaign normalized per draw by the MIP optimum.
+// Paper finding: H2, H3 and H4w end up at average factors of roughly 1.73,
+// 1.58 and 1.33 from the optimal.
+func Fig11(cfg Config) (*Result, error) {
+	return mipSweep(cfg, "fig11", "Normalization against the MIP, m=5, p=2",
+		rangeInts(2, 15, 1), 5, 2,
+		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, true)
+}
+
+// Fig12 — larger exact campaign, m=9, p=4, n=5..20; H2, H3, H4, H4w vs
+// MIP. Paper finding: past ~15 tasks the MIP stops finding (proving)
+// solutions — visible here as Solved dropping to 0 under the node/time
+// budgets.
+func Fig12(cfg Config) (*Result, error) {
+	return mipSweep(cfg, "fig12", "Heuristics vs MIP, m=9, p=4",
+		rangeInts(5, 20, 1), 9, 4,
+		[]string{"H2", "H3", "H4", "H4w"}, false)
+}
+
+// Figure runs one figure by number (5..12).
+func Figure(num int, cfg Config) (*Result, error) {
+	switch num {
+	case 5:
+		return Fig5(cfg)
+	case 6:
+		return Fig6(cfg)
+	case 7:
+		return Fig7(cfg)
+	case 8:
+		return Fig8(cfg)
+	case 9:
+		return Fig9(cfg)
+	case 10:
+		return Fig10(cfg)
+	case 11:
+		return Fig11(cfg)
+	case 12:
+		return Fig12(cfg)
+	}
+	return nil, fmt.Errorf("experiments: no figure %d (have 5..12)", num)
+}
+
+// Numbers lists the reproducible figures.
+func Numbers() []int { return []int{5, 6, 7, 8, 9, 10, 11, 12} }

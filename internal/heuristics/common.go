@@ -1,0 +1,217 @@
+// Package heuristics implements the paper's six polynomial-time heuristics
+// for the specialized-mapping problem on linear chains and in-trees:
+//
+//	H1  — random grouping (Algorithm 1)
+//	H2  — binary search on the period, machines ranked by per-task speed
+//	      rank ("potential optimization", Algorithm 2)
+//	H3  — binary search on the period, machines ranked by heterogeneity
+//	      (Algorithm 3)
+//	H4  — greedy best-performance: cost x·w·F (Algorithm 4)
+//	H4w — greedy fastest-machine: cost x·w, failures ignored (Algorithm 5)
+//	H4f — greedy most-reliable: cost x·F, speed ignored (Algorithm 6)
+//
+// All heuristics walk the application root-first (reverse topological
+// order, "starting with the last task and going backward"), because the
+// product count x[i] of a task is only known once its successor has been
+// placed.
+//
+// Feasibility guard: H1's pseudocode refuses to open a new machine group
+// for an already-grouped type unless nbFreeMachines > nbTypesToGo, which
+// guarantees that a virgin machine remains for every type not yet seen. The
+// H2–H4 listings omit the guard, but without it they can dead-end (all free
+// machines specialized before the last type shows up). We enforce the same
+// guard everywhere; on instances where the original listings succeed it is
+// vacuous.
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// Options tunes the heuristics; the zero value reproduces the paper.
+type Options struct {
+	// Granularity is the binary-search stopping width for H2/H3 in ms
+	// (paper: 1 ms). Zero means 1 ms.
+	Granularity float64
+	// MaxIters caps binary-search iterations as a safety net; zero means
+	// 64, plenty for any ms-scale horizon.
+	MaxIters int
+}
+
+func (o Options) granularity() float64 {
+	if o.Granularity > 0 {
+		return o.Granularity
+	}
+	return 1
+}
+
+func (o Options) maxIters() int {
+	if o.MaxIters > 0 {
+		return o.MaxIters
+	}
+	return 64
+}
+
+// Func is the signature shared by all heuristics. The RNG is only used by
+// H1; deterministic heuristics ignore it (it may be nil for them).
+type Func func(in *core.Instance, rng *rand.Rand, opts Options) (*core.Mapping, error)
+
+// state tracks one in-progress specialized assignment.
+type state struct {
+	in   *core.Instance
+	m    *core.Mapping
+	spec []app.TypeID // specialization per machine; noType when free
+	load []float64    // Σ x[j]·w[j][u] of tasks already placed on u
+	x    []float64    // product counts of placed tasks
+
+	nbFree       int    // machines not yet dedicated to any type
+	typesToGo    int    // types present in the app with no group yet
+	typeHasGroup []bool // per type
+}
+
+const noType app.TypeID = -1
+
+func newState(in *core.Instance) *state {
+	n, m := in.N(), in.M()
+	s := &state{
+		in:           in,
+		m:            core.NewMapping(n),
+		spec:         make([]app.TypeID, m),
+		load:         make([]float64, m),
+		x:            make([]float64, n),
+		nbFree:       m,
+		typeHasGroup: make([]bool, in.P()),
+	}
+	for u := range s.spec {
+		s.spec[u] = noType
+	}
+	// Count only types that actually occur (type IDs may be sparse when a
+	// caller builds instances by hand).
+	for _, c := range in.App.TypeCounts() {
+		if c > 0 {
+			s.typesToGo++
+		}
+	}
+	return s
+}
+
+// demand returns the product count required downstream of task i: x of its
+// successor, or 1 at the root. Valid only when the successor is placed,
+// which the reverse-topological walk guarantees.
+func (s *state) demand(i app.TaskID) float64 {
+	succ := s.in.App.Successor(i)
+	if succ == app.NoTask {
+		return 1
+	}
+	return s.x[succ]
+}
+
+// canUse reports whether machine u may accept a task of type ty under the
+// specialization rule plus the feasibility guard.
+func (s *state) canUse(u platform.MachineID, ty app.TypeID) bool {
+	switch s.spec[u] {
+	case ty:
+		return true
+	case noType:
+		if s.typeHasGroup[ty] {
+			// Opening an extra group for a type that already has one
+			// burns a free machine; only legal if enough remain for
+			// the unseen types.
+			return s.nbFree > s.typesToGo
+		}
+		return true // first group of a fresh type; a free machine is reserved for it
+	default:
+		return false
+	}
+}
+
+// assign places task i on machine u, updating specialization bookkeeping,
+// x[i] and the machine load.
+func (s *state) assign(i app.TaskID, u platform.MachineID) {
+	ty := s.in.App.Type(i)
+	if s.spec[u] == noType {
+		s.spec[u] = ty
+		s.nbFree--
+		if !s.typeHasGroup[ty] {
+			s.typeHasGroup[ty] = true
+			s.typesToGo--
+		}
+	}
+	s.x[i] = s.in.Failures.Inflation(i, u) * s.demand(i)
+	s.load[u] += s.x[i] * s.in.Platform.Time(i, u)
+	s.m.Assign(i, u)
+}
+
+// trialLoad returns the period machine u would reach if it also took task i:
+// its current load plus x[i]·w[i][u] with x[i] priced on u.
+func (s *state) trialLoad(i app.TaskID, u platform.MachineID) float64 {
+	xi := s.in.Failures.Inflation(i, u) * s.demand(i)
+	return s.load[u] + xi*s.in.Platform.Time(i, u)
+}
+
+// maxLoad returns the current largest machine load (the period of the
+// partial mapping).
+func (s *state) maxLoad() float64 {
+	worst := 0.0
+	for _, l := range s.load {
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// validate checks sizes common to all heuristics.
+func validate(in *core.Instance) error {
+	if in == nil {
+		return fmt.Errorf("heuristics: nil instance")
+	}
+	p := 0
+	for _, c := range in.App.TypeCounts() {
+		if c > 0 {
+			p++
+		}
+	}
+	if p > in.M() {
+		return fmt.Errorf("heuristics: %d task types but only %d machines; no specialized mapping exists", p, in.M())
+	}
+	return nil
+}
+
+// greedy runs the shared backward greedy used by the H4 family: for each
+// task (root-first) pick the admissible machine minimizing
+// load[u] + cost(i,u); ties break toward the lower machine index, matching
+// the listings' first-strict-improvement scan.
+func greedy(in *core.Instance, cost func(s *state, i app.TaskID, u platform.MachineID) float64) (*core.Mapping, error) {
+	if err := validate(in); err != nil {
+		return nil, err
+	}
+	s := newState(in)
+	for _, i := range in.App.ReverseTopological() {
+		ty := in.App.Type(i)
+		best := platform.NoMachine
+		bestExec := math.Inf(1)
+		for u := 0; u < in.M(); u++ {
+			mu := platform.MachineID(u)
+			if !s.canUse(mu, ty) {
+				continue
+			}
+			exec := s.load[u] + cost(s, i, mu)
+			if exec < bestExec {
+				bestExec = exec
+				best = mu
+			}
+		}
+		if best == platform.NoMachine {
+			return nil, fmt.Errorf("heuristics: no admissible machine for task T%d", int(i)+1)
+		}
+		s.assign(i, best)
+	}
+	return s.m, nil
+}

@@ -1,0 +1,68 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// GeneralH4w is H4w lifted to the general mapping rule: machines may mix
+// task types, paying `reconfig` ms per distinct type per finished product
+// on machines that carry more than one type (see core.ReconfigEvaluate).
+// Each task goes to the machine minimizing the machine's resulting
+// effective load, reconfiguration penalty included. With reconfig = 0 it
+// explores the unconstrained problem of §4.2.3; with a large reconfig it
+// degenerates to a specialized mapping, which is the paper's argument for
+// studying specialized mappings in the first place.
+func GeneralH4w(in *core.Instance, reconfig float64) (*core.Mapping, error) {
+	if in == nil {
+		return nil, fmt.Errorf("heuristics: nil instance")
+	}
+	if reconfig < 0 {
+		return nil, fmt.Errorf("heuristics: negative reconfiguration cost %v", reconfig)
+	}
+	n, m := in.N(), in.M()
+	mp := core.NewMapping(n)
+	load := make([]float64, m)
+	types := make([]map[app.TypeID]bool, m)
+	x := make([]float64, n)
+	for _, i := range in.App.ReverseTopological() {
+		demand := 1.0
+		if succ := in.App.Successor(i); succ != app.NoTask {
+			demand = x[succ]
+		}
+		ty := in.App.Type(i)
+		best := platform.NoMachine
+		bestEff := math.Inf(1)
+		for u := 0; u < m; u++ {
+			mu := platform.MachineID(u)
+			add := demand * in.Platform.Time(i, mu) // H4w ignores f in the choice
+			k := len(types[u])
+			if k > 0 && !types[u][ty] {
+				k++ // this assignment introduces a new type on u
+			} else if k == 0 {
+				k = 1
+			}
+			eff := load[u] + add
+			if k > 1 {
+				eff += reconfig * float64(k)
+			}
+			if eff < bestEff {
+				bestEff = eff
+				best = mu
+			}
+		}
+		xi := demand * in.Failures.Inflation(i, best)
+		x[i] = xi
+		load[best] += xi * in.Platform.Time(i, best)
+		if types[best] == nil {
+			types[best] = map[app.TypeID]bool{}
+		}
+		types[best][ty] = true
+		mp.Assign(i, best)
+	}
+	return mp, nil
+}

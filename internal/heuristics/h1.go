@@ -1,0 +1,77 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// H1 is the random heuristic (Algorithm 1). Walking the application
+// backward, each task joins a machine group for its type: if the type has
+// no group yet — or spare machines remain beyond what the unseen types need
+// — a fresh machine is opened (chosen uniformly at random among the free
+// ones); otherwise the task joins a uniformly random existing group of its
+// type.
+//
+// H1 is the paper's baseline: it respects the specialization rule but is
+// blind to speeds and failure rates.
+func H1(in *core.Instance, rng *rand.Rand, _ Options) (*core.Mapping, error) {
+	if err := validate(in); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	s := newState(in)
+	for _, i := range in.App.ReverseTopological() {
+		ty := in.App.Type(i)
+		var u platform.MachineID
+		switch {
+		case !s.typeHasGroup[ty]:
+			// First task of this type: must open a new group.
+			u = pickFree(s, rng)
+		case s.nbFree > s.typesToGo:
+			// Algorithm 1 always opens a new group when allowed.
+			u = pickFree(s, rng)
+		default:
+			u = pickGroup(s, ty, rng)
+		}
+		if u == platform.NoMachine {
+			return nil, fmt.Errorf("heuristics: H1 found no admissible machine for task T%d", int(i)+1)
+		}
+		s.assign(i, u)
+	}
+	return s.m, nil
+}
+
+// pickFree returns a uniformly random free machine, or NoMachine.
+func pickFree(s *state, rng *rand.Rand) platform.MachineID {
+	var free []platform.MachineID
+	for u, ty := range s.spec {
+		if ty == noType {
+			free = append(free, platform.MachineID(u))
+		}
+	}
+	if len(free) == 0 {
+		return platform.NoMachine
+	}
+	return free[rng.Intn(len(free))]
+}
+
+// pickGroup returns a uniformly random machine already dedicated to ty, or
+// NoMachine.
+func pickGroup(s *state, ty app.TypeID, rng *rand.Rand) platform.MachineID {
+	var grp []platform.MachineID
+	for u, t := range s.spec {
+		if t == ty {
+			grp = append(grp, platform.MachineID(u))
+		}
+	}
+	if len(grp) == 0 {
+		return platform.NoMachine
+	}
+	return grp[rng.Intn(len(grp))]
+}

@@ -1,0 +1,50 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microfab/internal/core"
+)
+
+// H2r is the listing-faithful reading of Algorithm 2, kept as an ablation.
+//
+// The pseudocode picks, for each task, the admissible machine with the
+// minimum rank and *fails the whole pass* when that machine's load exceeds
+// the candidate period — it never falls through to the next machine. The
+// choice therefore does not depend on the period at all, so the binary
+// search converges exactly to the max load of the rank-greedy assignment
+// and H2r reduces to that greedy. The paper's prose ("otherwise we try to
+// assign Ti to the next machine") describes the stronger budget-aware scan
+// implemented by H2; comparing H2 with H2r quantifies the gap between the
+// two readings (see EXPERIMENTS.md).
+func H2r(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
+	if err := validate(in); err != nil {
+		return nil, err
+	}
+	prio := rankPriorities(in)
+	s := newState(in)
+	for _, i := range in.App.ReverseTopological() {
+		ty := in.App.Type(i)
+		assigned := false
+		for _, u := range prio[i] {
+			if !s.canUse(u, ty) {
+				continue
+			}
+			s.assign(i, u)
+			assigned = true
+			break
+		}
+		if !assigned {
+			return nil, fmt.Errorf("heuristics: H2r found no admissible machine for task T%d", int(i)+1)
+		}
+	}
+	return s.m, nil
+}
+
+func init() {
+	registry["H2r"] = Named{
+		Name: "H2r", Fn: H2r, Deterministic: true,
+		Doc: "ablation: Algorithm-2 listing read literally (rank greedy, load-blind)",
+	}
+}

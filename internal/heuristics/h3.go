@@ -1,0 +1,46 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// H3 is the second binary-search heuristic (Algorithm 3). The search
+// skeleton is H2's, but the machine choice differs: among the admissible
+// machines whose load would stay within the candidate period, the task goes
+// to the one with the highest heterogeneity level — the standard deviation
+// of its execution-time column. The idea is to spend irregular machines
+// early and preserve homogeneous (predictable) ones for the remaining
+// tasks; note that a slow machine may be preferred to a fast one purely
+// because it is more heterogeneous.
+func H3(in *core.Instance, _ *rand.Rand, opts Options) (*core.Mapping, error) {
+	if err := validate(in); err != nil {
+		return nil, err
+	}
+	h := in.Platform.Heterogeneity()
+	return binarySearch(in, opts, func(s *state, i app.TaskID, budget float64) platform.MachineID {
+		ty := s.in.App.Type(i)
+		best := platform.NoMachine
+		bestH := -1.0
+		bestExec := 0.0
+		for u := 0; u < in.M(); u++ {
+			mu := platform.MachineID(u)
+			if !s.canUse(mu, ty) {
+				continue
+			}
+			exec := s.trialLoad(i, mu)
+			if exec > budget {
+				continue
+			}
+			// Highest heterogeneity wins; among equals prefer the
+			// lighter resulting load.
+			if h[u] > bestH || (h[u] == bestH && exec < bestExec) {
+				best, bestH, bestExec = mu, h[u], exec
+			}
+		}
+		return best
+	})
+}

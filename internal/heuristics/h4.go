@@ -1,0 +1,41 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// H4 is the best-performance greedy (Algorithm 4). Each task goes to the
+// admissible machine minimizing the machine's resulting load when the
+// task's true cost is counted: demand · w[i][u] · F(i,u), where
+// demand = x[succ(i)] and F = 1/(1-f). Both the speed and the reliability
+// of the machine enter the choice.
+func H4(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
+	return greedy(in, func(s *state, i app.TaskID, u platform.MachineID) float64 {
+		return s.demand(i) * s.in.Platform.Time(i, u) * s.in.Failures.Inflation(i, u)
+	})
+}
+
+// H4w is the fastest-machine greedy (Algorithm 5): identical to H4 but the
+// failure rate is ignored in the choice — the cost is demand · w[i][u]
+// only. The paper's headline result is that this speed-only variant is the
+// best heuristic overall ("if we produce fast enough we overcome the
+// faults").
+func H4w(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
+	return greedy(in, func(s *state, i app.TaskID, u platform.MachineID) float64 {
+		return s.demand(i) * s.in.Platform.Time(i, u)
+	})
+}
+
+// H4f is the reliable-machine greedy (Algorithm 6): identical to H4 but the
+// speed is ignored — the cost is demand · F(i,u) only. The paper shows it
+// performs poorly: minimizing the failure rate does not prevent choosing a
+// slow machine and thus a long period.
+func H4f(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
+	return greedy(in, func(s *state, i app.TaskID, u platform.MachineID) float64 {
+		return s.demand(i) * s.in.Failures.Inflation(i, u)
+	})
+}

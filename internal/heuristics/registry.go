@@ -1,0 +1,55 @@
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Named couples a heuristic with its paper name.
+type Named struct {
+	Name string
+	Fn   Func
+	// Deterministic is false only for H1 (uses the RNG).
+	Deterministic bool
+	// Doc is a one-line description for CLI help.
+	Doc string
+}
+
+var registry = map[string]Named{
+	"H1":  {Name: "H1", Fn: H1, Deterministic: false, Doc: "random grouping baseline"},
+	"H2":  {Name: "H2", Fn: H2, Deterministic: true, Doc: "binary search on period, speed-rank machine priority"},
+	"H3":  {Name: "H3", Fn: H3, Deterministic: true, Doc: "binary search on period, heterogeneity machine priority"},
+	"H4":  {Name: "H4", Fn: H4, Deterministic: true, Doc: "greedy best performance (x·w·F)"},
+	"H4w": {Name: "H4w", Fn: H4w, Deterministic: true, Doc: "greedy fastest machine (x·w), failures ignored"},
+	"H4f": {Name: "H4f", Fn: H4f, Deterministic: true, Doc: "greedy most reliable machine (x·F), speed ignored"},
+}
+
+// Get returns the heuristic registered under the (case-sensitive) paper
+// name: H1, H2, H3, H4, H4w, H4f.
+func Get(name string) (Named, error) {
+	h, ok := registry[name]
+	if !ok {
+		return Named{}, fmt.Errorf("heuristics: unknown heuristic %q (have %v)", name, Names())
+	}
+	return h, nil
+}
+
+// Names lists the registered heuristics in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every heuristic in the paper's presentation order.
+func All() []Named {
+	order := []string{"H1", "H2", "H3", "H4", "H4w", "H4f"}
+	out := make([]Named, 0, len(order))
+	for _, n := range order {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package heuristics
+
+import (
+	"math/rand"
+	"sort"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// H4wSplit implements the paper's future-work extension: the instances of
+// one task may be divided across several machines of its type. It starts
+// from the plain H4w mapping and then iteratively rebalances: the task
+// contributing most to the critical machine has its workload re-poured
+// (water-filling) over every machine that may legally carry its type —
+// machines already dedicated to the type plus still-free machines. A
+// rebalance is kept only when the full re-evaluated period improves, so
+// H4wSplit is never worse than H4w.
+func H4wSplit(in *core.Instance, rng *rand.Rand, opts Options) (*core.SplitMapping, error) {
+	base, err := H4w(in, rng, opts)
+	if err != nil {
+		return nil, err
+	}
+	split := base.Split(in.M())
+	ev, err := core.EvaluateSplit(in, split)
+	if err != nil {
+		return nil, err
+	}
+	const maxRounds = 200
+	const tol = 1e-9
+	tried := make(map[app.TaskID]bool)
+	for round := 0; round < maxRounds; round++ {
+		crit := ev.Critical
+		if crit == platform.NoMachine {
+			break
+		}
+		task := heaviestTaskOn(in, split, ev, crit, tried)
+		if task == app.NoTask {
+			break // nothing left to move on the critical machine
+		}
+		tried[task] = true
+		cand := rebalance(in, split, task)
+		evc, err := core.EvaluateSplit(in, cand)
+		if err != nil || evc.Period >= ev.Period-tol {
+			continue // keep the previous split; try another task
+		}
+		split, ev = cand, evc
+		tried = make(map[app.TaskID]bool) // improvements reopen all tasks
+	}
+	return split, nil
+}
+
+// heaviestTaskOn returns the untried task with the largest load
+// contribution share·x·w on machine u, or NoTask.
+func heaviestTaskOn(in *core.Instance, s *core.SplitMapping, ev *core.Evaluation, u platform.MachineID, tried map[app.TaskID]bool) app.TaskID {
+	best := app.NoTask
+	bestLoad := 0.0
+	for i := 0; i < in.N(); i++ {
+		id := app.TaskID(i)
+		if tried[id] {
+			continue
+		}
+		sh := s.Share(id, u)
+		if sh <= 0 {
+			continue
+		}
+		l := sh * ev.ProductCounts[i] * in.Platform.Time(id, u)
+		if l > bestLoad {
+			bestLoad = l
+			best = id
+		}
+	}
+	return best
+}
+
+// rebalance returns a copy of the split where task i's workload is
+// water-filled across all machines legally able to carry its type, given
+// the loads of every other task.
+func rebalance(in *core.Instance, s *core.SplitMapping, i app.TaskID) *core.SplitMapping {
+	n, m := in.N(), in.M()
+	out := core.NewSplitMapping(n, m)
+	for j := 0; j < n; j++ {
+		for u := 0; u < m; u++ {
+			out.SetShare(app.TaskID(j), platform.MachineID(u), s.Share(app.TaskID(j), platform.MachineID(u)))
+		}
+	}
+	ev, err := core.EvaluateSplit(in, s)
+	if err != nil {
+		return out
+	}
+	ty := in.App.Type(i)
+
+	// Current machine specializations from positive shares (task i's own
+	// shares excluded so its machines can be reconsidered).
+	spec := make([]app.TypeID, m)
+	for u := range spec {
+		spec[u] = -1
+	}
+	for j := 0; j < n; j++ {
+		if app.TaskID(j) == i {
+			continue
+		}
+		tj := in.App.Type(app.TaskID(j))
+		for u := 0; u < m; u++ {
+			if s.Share(app.TaskID(j), platform.MachineID(u)) > 0 {
+				spec[u] = tj
+			}
+		}
+	}
+	// Loads without task i.
+	load := make([]float64, m)
+	for u := 0; u < m; u++ {
+		load[u] = ev.MachinePeriods[u] - s.Share(i, platform.MachineID(u))*ev.ProductCounts[i]*in.Platform.Time(i, platform.MachineID(u))
+		if load[u] < 0 {
+			load[u] = 0
+		}
+	}
+	var cands []platform.MachineID
+	for u := 0; u < m; u++ {
+		if spec[u] == -1 || spec[u] == ty {
+			cands = append(cands, platform.MachineID(u))
+		}
+	}
+	if len(cands) == 0 {
+		return out
+	}
+	// Demand downstream of task i (x of its successor under the current
+	// split, 1 at the root).
+	demand := 1.0
+	if succ := in.App.Successor(i); succ != app.NoTask {
+		demand = ev.ProductCounts[succ]
+	}
+	shares, _ := waterfillLoads(in, i, demand, cands, load)
+	for u := 0; u < m; u++ {
+		out.SetShare(i, platform.MachineID(u), 0)
+	}
+	for k, sh := range shares {
+		if sh > 0 {
+			out.SetShare(i, cands[k], sh)
+		}
+	}
+	return out
+}
+
+// waterfillLoads distributes task i's demand over candidate machines with
+// the given base loads: find the lowest level T such that the work
+// z_u = max(0, T − load_u) placed on each machine produces
+// Σ_u z_u·(1−f[i][u])/w[i][u] = demand survivors; shares are the fractions
+// of processed products per machine. Returns (shares, x[i]).
+func waterfillLoads(in *core.Instance, i app.TaskID, demand float64, cands []platform.MachineID, load []float64) ([]float64, float64) {
+	k := len(cands)
+	rate := make([]float64, k)
+	for idx, mu := range cands {
+		rate[idx] = in.Failures.Survival(i, mu) / in.Platform.Time(i, mu)
+	}
+	ord := make([]int, k)
+	for idx := range ord {
+		ord[idx] = idx
+	}
+	sort.Slice(ord, func(a, b int) bool { return load[cands[ord[a]]] < load[cands[ord[b]]] })
+
+	level := load[cands[ord[0]]]
+	sumRate := rate[ord[0]]
+	produced := 0.0
+	done := false
+	for j := 1; j < k; j++ {
+		next := load[cands[ord[j]]]
+		seg := sumRate * (next - level)
+		if produced+seg >= demand {
+			level += (demand - produced) / sumRate
+			done = true
+			break
+		}
+		produced += seg
+		level = next
+		sumRate += rate[ord[j]]
+	}
+	if !done {
+		level += (demand - produced) / sumRate
+	}
+
+	shares := make([]float64, k)
+	total := 0.0
+	for idx, mu := range cands {
+		if level > load[mu] {
+			shares[idx] = (level - load[mu]) / in.Platform.Time(i, mu)
+			total += shares[idx]
+		}
+	}
+	for idx := range shares {
+		shares[idx] /= total
+	}
+	return shares, total
+}

@@ -1,0 +1,56 @@
+package heuristics
+
+import (
+	"testing"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/platform"
+)
+
+// TestSplitRefinementStepwise drives one rebalance by hand on the
+// high-failure example instance and checks share conservation; it also
+// reports whether the step improves, which guards against the refinement
+// loop silently never firing.
+func TestSplitRefinementStepwise(t *testing.T) {
+	pr := gen.Default(40, 5, 10)
+	pr.FMin, pr.FMax = 0, 0.10
+	in, err := gen.Chain(pr, gen.RNG(2010))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := H4w(in, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := mw.Split(in.M())
+	ev, err := core.EvaluateSplit(in, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := heaviestTaskOn(in, split, ev, ev.Critical, map[app.TaskID]bool{})
+	if task == app.NoTask {
+		t.Fatal("no task found on the critical machine")
+	}
+	cand := rebalance(in, split, task)
+	evc, err := core.EvaluateSplit(in, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("base period %v; after one rebalance of T%d: %v (critical M%d)",
+		ev.Period, int(task)+1, evc.Period, int(ev.Critical)+1)
+	sh := 0.0
+	moved := 0
+	for u := 0; u < in.M(); u++ {
+		v := cand.Share(task, platform.MachineID(u))
+		sh += v
+		if v > 0 {
+			moved++
+		}
+	}
+	if sh < 0.999 || sh > 1.001 {
+		t.Fatalf("rebalanced shares sum to %v", sh)
+	}
+	t.Logf("task T%d now split over %d machines", int(task)+1, moved)
+}

@@ -1,0 +1,249 @@
+// Package hungarian implements bipartite assignment algorithms used by the
+// optimal one-to-one mapping solvers:
+//
+//   - Solve: minimum-cost perfect assignment (the Hungarian method, in its
+//     O(n²m) shortest-augmenting-path / Jonker-Volgenant form), used for
+//     Theorem 1 where the cost of (task, machine) is -log(1 - f[i][u]);
+//   - MaxMatching: Hopcroft-Karp maximum bipartite matching;
+//   - Bottleneck: min-max (bottleneck) assignment by binary search over the
+//     sorted cost values with a matching feasibility test, used for the
+//     Figure 9 optimal one-to-one baseline where x[i] is mapping-independent.
+//
+// Rows are "left" vertices (tasks), columns are "right" vertices (machines);
+// rectangular problems with rows <= cols are supported: every row is
+// assigned, columns may stay free.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Solve returns an assignment row->col minimizing the total cost, and that
+// minimum. cost[r][c] may be +Inf to forbid a pair. It requires
+// len(cost) <= len(cost[0]) and returns an error when no finite-cost perfect
+// assignment of all rows exists.
+func Solve(cost [][]float64) (assign []int, total float64, err error) {
+	nr := len(cost)
+	if nr == 0 {
+		return nil, 0, nil
+	}
+	nc := len(cost[0])
+	if nr > nc {
+		return nil, 0, fmt.Errorf("hungarian: %d rows exceed %d columns", nr, nc)
+	}
+	for r, row := range cost {
+		if len(row) != nc {
+			return nil, 0, fmt.Errorf("hungarian: row %d has %d columns, want %d", r, len(row), nc)
+		}
+	}
+
+	// Shortest-augmenting-path formulation with dual potentials, 1-based
+	// virtual row/col 0 (standard JV layout).
+	const inf = math.MaxFloat64
+	u := make([]float64, nr+1) // row potentials
+	v := make([]float64, nc+1) // column potentials
+	p := make([]int, nc+1)     // p[c] = row matched to column c (0 = free)
+	way := make([]int, nc+1)
+
+	for r := 1; r <= nr; r++ {
+		p[0] = r
+		j0 := 0
+		minv := make([]float64, nc+1)
+		used := make([]bool, nc+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= nc; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || delta == inf {
+				return nil, 0, fmt.Errorf("hungarian: no feasible assignment (row %d isolated by infinite costs)", r-1)
+			}
+			for j := 0; j <= nc; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, nr)
+	for j := 1; j <= nc; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for r := 0; r < nr; r++ {
+		total += cost[r][assign[r]]
+	}
+	if math.IsInf(total, 1) {
+		return nil, 0, fmt.Errorf("hungarian: assignment uses a forbidden pair")
+	}
+	return assign, total, nil
+}
+
+// MaxMatching computes a maximum matching of the bipartite graph given by
+// adjacency lists adj[r] = admissible columns of row r, over nc columns,
+// using Hopcroft-Karp in O(E sqrt(V)). It returns matchRow[r] = column of r
+// or -1, and the matching size.
+func MaxMatching(adj [][]int, nc int) (matchRow []int, size int) {
+	nr := len(adj)
+	const nilV = -1
+	matchRow = make([]int, nr)
+	matchCol := make([]int, nc)
+	for i := range matchRow {
+		matchRow[i] = nilV
+	}
+	for i := range matchCol {
+		matchCol[i] = nilV
+	}
+	dist := make([]int, nr)
+
+	bfs := func() bool {
+		queue := make([]int, 0, nr)
+		for r := 0; r < nr; r++ {
+			if matchRow[r] == nilV {
+				dist[r] = 0
+				queue = append(queue, r)
+			} else {
+				dist[r] = math.MaxInt32
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			for _, c := range adj[r] {
+				r2 := matchCol[c]
+				if r2 == nilV {
+					found = true
+				} else if dist[r2] == math.MaxInt32 {
+					dist[r2] = dist[r] + 1
+					queue = append(queue, r2)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(r int) bool
+	dfs = func(r int) bool {
+		for _, c := range adj[r] {
+			r2 := matchCol[c]
+			if r2 == nilV || (dist[r2] == dist[r]+1 && dfs(r2)) {
+				matchRow[r] = c
+				matchCol[c] = r
+				return true
+			}
+		}
+		dist[r] = math.MaxInt32
+		return false
+	}
+
+	for bfs() {
+		for r := 0; r < nr; r++ {
+			if matchRow[r] == nilV && dfs(r) {
+				size++
+			}
+		}
+	}
+	return matchRow, size
+}
+
+// Bottleneck returns an assignment row->col minimizing the maximum selected
+// cost (min-max assignment) and that bottleneck value. It binary-searches
+// the sorted distinct costs, testing each threshold with Hopcroft-Karp.
+func Bottleneck(cost [][]float64) (assign []int, bottleneck float64, err error) {
+	nr := len(cost)
+	if nr == 0 {
+		return nil, 0, nil
+	}
+	nc := len(cost[0])
+	if nr > nc {
+		return nil, 0, fmt.Errorf("hungarian: %d rows exceed %d columns", nr, nc)
+	}
+	values := make([]float64, 0, nr*nc)
+	for _, row := range cost {
+		for _, v := range row {
+			if !math.IsInf(v, 1) && !math.IsNaN(v) {
+				values = append(values, v)
+			}
+		}
+	}
+	if len(values) == 0 {
+		return nil, 0, fmt.Errorf("hungarian: all costs are infinite")
+	}
+	sort.Float64s(values)
+	values = dedupSorted(values)
+
+	feasible := func(threshold float64) ([]int, bool) {
+		adj := make([][]int, nr)
+		for r := 0; r < nr; r++ {
+			for c := 0; c < nc; c++ {
+				if cost[r][c] <= threshold {
+					adj[r] = append(adj[r], c)
+				}
+			}
+		}
+		match, size := MaxMatching(adj, nc)
+		return match, size == nr
+	}
+
+	lo, hi := 0, len(values)-1
+	if _, ok := feasible(values[hi]); !ok {
+		return nil, 0, fmt.Errorf("hungarian: no perfect assignment exists even with all finite pairs")
+	}
+	var bestMatch []int
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if match, ok := feasible(values[mid]); ok {
+			bestMatch = match
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestMatch == nil {
+		bestMatch, _ = feasible(values[lo])
+	}
+	return bestMatch, values[lo], nil
+}
+
+func dedupSorted(v []float64) []float64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteAssign enumerates injective row->col assignments minimizing either
+// the sum (bottleneck=false) or the max (bottleneck=true) cost.
+func bruteAssign(cost [][]float64, bottleneck bool) float64 {
+	nr := len(cost)
+	nc := len(cost[0])
+	used := make([]bool, nc)
+	best := math.Inf(1)
+	var rec func(r int, acc float64)
+	rec = func(r int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if r == nr {
+			best = acc
+			return
+		}
+		for c := 0; c < nc; c++ {
+			if used[c] || math.IsInf(cost[r][c], 1) {
+				continue
+			}
+			used[c] = true
+			next := acc + cost[r][c]
+			if bottleneck {
+				next = math.Max(acc, cost[r][c])
+			}
+			rec(r+1, next)
+			used[c] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func randCost(rng *rand.Rand, nr, nc int) [][]float64 {
+	cost := make([][]float64, nr)
+	for r := range cost {
+		cost[r] = make([]float64, nc)
+		for c := range cost[r] {
+			cost[r][c] = math.Round(rng.Float64()*100) / 10
+		}
+	}
+	return cost
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		nr := 1 + rng.Intn(5)
+		nc := nr + rng.Intn(3)
+		cost := randCost(rng, nr, nc)
+		assign, total, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAssign(cost, false)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v != brute %v (cost %v)", trial, total, want, cost)
+		}
+		// The assignment must be injective and consistent with total.
+		seen := map[int]bool{}
+		sum := 0.0
+		for r, c := range assign {
+			if seen[c] {
+				t.Fatalf("trial %d: column %d reused", trial, c)
+			}
+			seen[c] = true
+			sum += cost[r][c]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("trial %d: assignment sums to %v, reported %v", trial, sum, total)
+		}
+	}
+}
+
+func TestSolveKnownCase(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %v, want 5", total)
+	}
+}
+
+func TestSolveRejectsWideRows(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1}, {1}}); err == nil {
+		t.Fatal("rows > cols accepted")
+	}
+}
+
+func TestSolveEmptyAndRagged(t *testing.T) {
+	if assign, total, err := Solve(nil); err != nil || assign != nil || total != 0 {
+		t.Fatal("empty problem mishandled")
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestSolveForbiddenPairs(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, 1},
+		{1, inf},
+	}
+	assign, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign=%v total=%v", assign, total)
+	}
+	// Fully forbidden row -> error.
+	bad := [][]float64{{inf, inf}, {1, 1}}
+	if _, _, err := Solve(bad); err == nil {
+		t.Fatal("isolated row accepted")
+	}
+}
+
+func TestMaxMatchingSimple(t *testing.T) {
+	adj := [][]int{{0, 1}, {0}, {1, 2}}
+	match, size := MaxMatching(adj, 3)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3 (match %v)", size, match)
+	}
+	adj2 := [][]int{{0}, {0}}
+	_, size2 := MaxMatching(adj2, 1)
+	if size2 != 1 {
+		t.Fatalf("size = %d, want 1", size2)
+	}
+}
+
+func TestBottleneckMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		nr := 1 + rng.Intn(5)
+		nc := nr + rng.Intn(3)
+		cost := randCost(rng, nr, nc)
+		assign, b, err := Bottleneck(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAssign(cost, true)
+		if math.Abs(b-want) > 1e-9 {
+			t.Fatalf("trial %d: bottleneck %v != brute %v", trial, b, want)
+		}
+		worst := 0.0
+		seen := map[int]bool{}
+		for r, c := range assign {
+			if seen[c] {
+				t.Fatalf("trial %d: column reused", trial)
+			}
+			seen[c] = true
+			if cost[r][c] > worst {
+				worst = cost[r][c]
+			}
+		}
+		if math.Abs(worst-b) > 1e-9 {
+			t.Fatalf("trial %d: assignment bottleneck %v, reported %v", trial, worst, b)
+		}
+	}
+}
+
+func TestBottleneckRejects(t *testing.T) {
+	if _, _, err := Bottleneck([][]float64{{1}, {1}}); err == nil {
+		t.Fatal("rows > cols accepted")
+	}
+	inf := math.Inf(1)
+	if _, _, err := Bottleneck([][]float64{{inf}}); err == nil {
+		t.Fatal("all-infinite matrix accepted")
+	}
+}

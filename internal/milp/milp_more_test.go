@@ -1,0 +1,111 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/exact"
+	"microfab/internal/gen"
+)
+
+func TestSolveInTreeMatchesExact(t *testing.T) {
+	in, err := gen.InTree(gen.Default(6, 2, 3), 2, gen.RNG(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exact.Solve(in, exact.Options{Rule: core.Specialized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, Options{Rule: core.Specialized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Fatal("in-tree MIP not proven")
+	}
+	if math.Abs(res.Period-ex.Period) > 1e-6*ex.Period {
+		t.Fatalf("in-tree MIP %v != exact %v", res.Period, ex.Period)
+	}
+}
+
+func TestSolveBudgetExhaustedWithoutWarmStart(t *testing.T) {
+	// A 1-node budget and no warm start: the search cannot finish; the
+	// result must carry no mapping and no error.
+	in, err := gen.Chain(gen.Default(8, 3, 5), gen.RNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, Options{Rule: core.Specialized, MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven {
+		t.Fatal("proven under a 1-node budget")
+	}
+}
+
+func TestBoundIsValidLowerBound(t *testing.T) {
+	in, err := gen.Chain(gen.Default(5, 2, 3), gen.RNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, Options{Rule: core.Specialized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound > res.Period+1e-6 {
+		t.Fatalf("bound %v exceeds achieved period %v", res.Bound, res.Period)
+	}
+	lb := core.LowerBoundPeriod(in)
+	if res.Period < lb-1e-6 {
+		t.Fatalf("MIP optimum %v below the combinatorial lower bound %v", res.Period, lb)
+	}
+}
+
+func TestBuildOneToOneRejectsTooManyTasks(t *testing.T) {
+	in, err := gen.Chain(gen.Default(6, 2, 3), gen.RNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(in, core.OneToOne); err == nil {
+		t.Fatal("one-to-one build accepted n > m")
+	}
+}
+
+func TestWarmStartRejectsRuleViolation(t *testing.T) {
+	in, err := gen.Chain(gen.Default(3, 2, 4), gen.RNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := Build(in, core.OneToOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All tasks on machine 0 violates one-to-one.
+	all0 := core.NewMapping(3)
+	for i := 0; i < 3; i++ {
+		all0.Assign(app.TaskID(i), 0)
+	}
+	if _, err := md.WarmStart(all0); err == nil {
+		t.Fatal("rule-violating warm start accepted")
+	}
+}
+
+func TestTimeLimitRespected(t *testing.T) {
+	in, err := gen.Chain(gen.Default(14, 4, 9), gen.RNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = Solve(in, Options{Rule: core.Specialized, TimeLimit: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("time limit ignored: ran %v", e)
+	}
+}

@@ -1,0 +1,222 @@
+// Package sparse provides the small sparse linear-algebra kernel used to
+// assemble and manipulate the MIP models: a triplet (COO) builder, an
+// immutable CSR matrix with row iteration and mat-vec products, and dense
+// vector helpers. The LP constraint matrices of the paper's MIP (§6.1) are
+// extremely sparse — each row touches a handful of the n·m + n + m·p + 1
+// variables — so models are built and stored sparsely and only the simplex
+// tableau is densified.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates (row, col, value) triplets; duplicates are summed.
+type Builder struct {
+	rows, cols int
+	r, c       []int
+	v          []float64
+}
+
+// NewBuilder returns an empty builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates value at (row, col). Zero values are ignored.
+func (b *Builder) Add(row, col int, value float64) {
+	if value == 0 {
+		return
+	}
+	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) outside %dx%d", row, col, b.rows, b.cols))
+	}
+	b.r = append(b.r, row)
+	b.c = append(b.c, col)
+	b.v = append(b.v, value)
+}
+
+// NNZ returns the number of accumulated triplets (before duplicate merge).
+func (b *Builder) NNZ() int { return len(b.v) }
+
+// Build compacts the triplets into a CSR matrix, summing duplicates and
+// dropping resulting zeros.
+func (b *Builder) Build() *CSR {
+	type entry struct {
+		r, c int
+		v    float64
+	}
+	ents := make([]entry, len(b.v))
+	for i := range b.v {
+		ents[i] = entry{b.r[i], b.c[i], b.v[i]}
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].r != ents[j].r {
+			return ents[i].r < ents[j].r
+		}
+		return ents[i].c < ents[j].c
+	})
+	m := &CSR{rows: b.rows, cols: b.cols, ptr: make([]int, b.rows+1)}
+	for i := 0; i < len(ents); {
+		j := i
+		sum := 0.0
+		for ; j < len(ents) && ents[j].r == ents[i].r && ents[j].c == ents[i].c; j++ {
+			sum += ents[j].v
+		}
+		if sum != 0 {
+			m.idx = append(m.idx, ents[i].c)
+			m.val = append(m.val, sum)
+			m.ptr[ents[i].r+1]++
+		}
+		i = j
+	}
+	for r := 0; r < b.rows; r++ {
+		m.ptr[r+1] += m.ptr[r]
+	}
+	return m
+}
+
+// CSR is an immutable compressed-sparse-row matrix.
+type CSR struct {
+	rows, cols int
+	ptr        []int
+	idx        []int
+	val        []float64
+}
+
+// Dims returns (rows, cols).
+func (m *CSR) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// Row returns the column indices and values of row r (shared slices; do not
+// modify).
+func (m *CSR) Row(r int) (cols []int, vals []float64) {
+	lo, hi := m.ptr[r], m.ptr[r+1]
+	return m.idx[lo:hi], m.val[lo:hi]
+}
+
+// At returns the value at (r, c) with a binary search over row r.
+func (m *CSR) At(r, c int) float64 {
+	cols, vals := m.Row(r)
+	i := sort.SearchInts(cols, c)
+	if i < len(cols) && cols[i] == c {
+		return vals[i]
+	}
+	return 0
+}
+
+// MulVec computes y = M·x into a fresh slice.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec dimension %d != cols %d", len(x), m.cols))
+	}
+	y := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		cols, vals := m.Row(r)
+		var s float64
+		for k, c := range cols {
+			s += vals[k] * x[c]
+		}
+		y[r] = s
+	}
+	return y
+}
+
+// MulVecT computes y = Mᵀ·x into a fresh slice.
+func (m *CSR) MulVecT(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVecT dimension %d != rows %d", len(x), m.rows))
+	}
+	y := make([]float64, m.cols)
+	for r := 0; r < m.rows; r++ {
+		cols, vals := m.Row(r)
+		for k, c := range cols {
+			y[c] += vals[k] * x[r]
+		}
+	}
+	return y
+}
+
+// RowDot returns the dot product of row r with the dense vector x.
+func (m *CSR) RowDot(r int, x []float64) float64 {
+	cols, vals := m.Row(r)
+	var s float64
+	for k, c := range cols {
+		s += vals[k] * x[c]
+	}
+	return s
+}
+
+// Dense expands the matrix to dense row-major form.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.rows)
+	for r := range out {
+		out[r] = make([]float64, m.cols)
+		cols, vals := m.Row(r)
+		for k, c := range cols {
+			out[r][c] = vals[k]
+		}
+	}
+	return out
+}
+
+// Transpose returns Mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	b := NewBuilder(m.cols, m.rows)
+	for r := 0; r < m.rows; r++ {
+		cols, vals := m.Row(r)
+		for k, c := range cols {
+			b.Add(c, r, vals[k])
+		}
+	}
+	return b.Build()
+}
+
+// Dot returns xᵀ·y for equal-length dense vectors.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a·x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("sparse: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if a == 0 {
+		return
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// InfNorm returns max |x_i| (0 for empty input).
+func InfNorm(x []float64) float64 {
+	worst := 0.0
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBuildBasics(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 1, 2)
+	b.Add(2, 3, -1)
+	b.Add(0, 1, 3) // duplicate: summed
+	b.Add(1, 0, 0) // zero: ignored
+	m := b.Build()
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("dims = (%d,%d)", r, c)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", m.At(0, 1))
+	}
+	if m.At(2, 3) != -1 || m.At(1, 1) != 0 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestBuilderCancellationDropsZero(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Add(0, 0, 2)
+	b.Add(0, 0, -2)
+	if m := b.Build(); m.NNZ() != 0 {
+		t.Fatalf("cancelled entry kept: nnz=%d", m.NNZ())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range Add")
+		}
+	}()
+	NewBuilder(1, 1).Add(5, 0, 1)
+}
+
+func denseMulVec(d [][]float64, x []float64) []float64 {
+	y := make([]float64, len(d))
+	for r := range d {
+		for c := range d[r] {
+			y[r] += d[r][c] * x[c]
+		}
+	}
+	return y
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		b := NewBuilder(rows, cols)
+		d := make([][]float64, rows)
+		for r := range d {
+			d[r] = make([]float64, cols)
+			for c := range d[r] {
+				if rng.Float64() < 0.5 {
+					v := rng.NormFloat64()
+					d[r][c] = v
+					b.Add(r, c, v)
+				}
+			}
+		}
+		m := b.Build()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := m.MulVec(x)
+		want := denseMulVec(d, x)
+		for r := range want {
+			if math.Abs(got[r]-want[r]) > 1e-12 {
+				t.Fatalf("trial %d: MulVec[%d] = %v, want %v", trial, r, got[r], want[r])
+			}
+		}
+		// Transpose: (Mᵀ)ᵀ = M and MulVecT(M, y) == MulVec(Mᵀ, y).
+		mt := m.Transpose()
+		y := make([]float64, rows)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		gt := m.MulVecT(y)
+		wt := mt.MulVec(y)
+		for c := range gt {
+			if math.Abs(gt[c]-wt[c]) > 1e-12 {
+				t.Fatalf("trial %d: MulVecT mismatch at %d", trial, c)
+			}
+		}
+	}
+}
+
+func TestRowDotAndDense(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.Add(0, 0, 1)
+	b.Add(0, 2, 2)
+	b.Add(1, 1, 3)
+	m := b.Build()
+	if got := m.RowDot(0, []float64{1, 10, 100}); got != 201 {
+		t.Fatalf("RowDot = %v, want 201", got)
+	}
+	d := m.Dense()
+	if d[0][0] != 1 || d[0][2] != 2 || d[1][1] != 3 || d[0][1] != 0 {
+		t.Fatalf("Dense = %v", d)
+	}
+}
+
+func TestMulVecPanicsOnDimension(t *testing.T) {
+	m := NewBuilder(2, 3).Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	m.MulVec([]float64{1})
+}
+
+func TestVectorKernels(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("Dot = %v", Dot(x, y))
+	}
+	z := append([]float64(nil), y...)
+	Axpy(2, x, z)
+	if z[0] != 6 || z[1] != 9 || z[2] != 12 {
+		t.Fatalf("Axpy = %v", z)
+	}
+	Axpy(0, x, z) // no-op path
+	if z[0] != 6 {
+		t.Fatal("Axpy(0) changed the vector")
+	}
+	Scale(0.5, z)
+	if z[0] != 3 || z[2] != 6 {
+		t.Fatalf("Scale = %v", z)
+	}
+	if InfNorm([]float64{-7, 2}) != 7 {
+		t.Fatal("InfNorm wrong")
+	}
+	if InfNorm(nil) != 0 {
+		t.Fatal("InfNorm(nil) != 0")
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	// Property: transposing twice reproduces every entry.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(5)
+		cols := 1 + rng.Intn(5)
+		b := NewBuilder(rows, cols)
+		for k := 0; k < rng.Intn(10); k++ {
+			b.Add(rng.Intn(rows), rng.Intn(cols), float64(rng.Intn(9)+1))
+		}
+		m := b.Build()
+		tt := m.Transpose().Transpose()
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if m.At(r, c) != tt.At(r, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

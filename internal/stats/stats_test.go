@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	// Sample variance with n-1: Σ(x-5)² = 32, /7.
+	if math.Abs(Variance(xs)-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if math.Abs(StdDev(xs)-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || CI95(nil) != 0 {
+		t.Fatal("empty sample mishandled")
+	}
+	if Variance([]float64{3}) != 0 || CI95([]float64{3}) != 0 {
+		t.Fatal("singleton variance/CI not 0")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(xs, 0.5) != 2 {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if got := Quantile([]float64{0, 10}, 0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("q25 = %v, want 2.5", got)
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+	z := Summarize(nil)
+	if z.N != 0 || z.Min != 0 || z.Max != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("degenerate GeoMean not 0")
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	// Property: min <= mean <= max and CI >= 0.
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.CI >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

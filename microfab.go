@@ -1,0 +1,219 @@
+// Package microfab reproduces the system of "Throughput optimization for
+// micro-factories subject to task and machine failures" (Benoit, Dobrila,
+// Nicod, Philippe — INRIA RR-7479, 2010): mapping typed tasks of an
+// in-tree application onto machines so as to maximize the production
+// throughput when every (task, machine) couple has its own transient
+// failure rate.
+//
+// The package is a facade over the internal packages; it exposes the model
+// (applications, platforms, failure matrices, mappings), the paper's six
+// heuristics (H1, H2, H3, H4, H4w, H4f), the exact solvers (MIP branch and
+// bound, DFS search, polynomial one-to-one algorithms), the discrete-event
+// simulator and the experiment drivers that regenerate every figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	in, _ := microfab.GenerateChain(microfab.CampaignParams(20, 4, 10), 42)
+//	mp, _ := microfab.Solve(in, "H4w", 0)
+//	ev, _ := microfab.Evaluate(in, mp)
+//	fmt.Printf("period %.0f ms, throughput %.4f products/s\n",
+//		ev.Period, ev.Throughput*1000)
+package microfab
+
+import (
+	"fmt"
+	"time"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/exact"
+	"microfab/internal/experiments"
+	"microfab/internal/failure"
+	"microfab/internal/gen"
+	"microfab/internal/heuristics"
+	"microfab/internal/milp"
+	"microfab/internal/oto"
+	"microfab/internal/platform"
+	"microfab/internal/sim"
+)
+
+// Model types, re-exported so callers never import internal packages.
+type (
+	// Application is the in-tree of typed tasks.
+	Application = app.Application
+	// Builder assembles applications incrementally.
+	Builder = app.Builder
+	// Task is one operation applied to a product.
+	Task = app.Task
+	// TaskID indexes tasks (0-based).
+	TaskID = app.TaskID
+	// TypeID indexes task types (0-based).
+	TypeID = app.TypeID
+	// MachineID indexes machines (0-based).
+	MachineID = platform.MachineID
+	// Platform is the machine set with execution times.
+	Platform = platform.Platform
+	// FailureMatrix holds f[i][u], the loss probability per couple.
+	FailureMatrix = failure.Matrix
+	// Instance bundles application, platform and failures.
+	Instance = core.Instance
+	// Mapping is the allocation of tasks to machines.
+	Mapping = core.Mapping
+	// SplitMapping allows one task's workload on several machines.
+	SplitMapping = core.SplitMapping
+	// Evaluation is the period/throughput breakdown of a mapping.
+	Evaluation = core.Evaluation
+	// Rule selects the mapping constraint.
+	Rule = core.Rule
+	// GenParams configures random instance generation.
+	GenParams = gen.Params
+	// SimOptions configures a discrete-event run.
+	SimOptions = sim.Options
+	// SimStats is the outcome of a simulation.
+	SimStats = sim.Stats
+	// ExpConfig scales an experiment campaign.
+	ExpConfig = experiments.Config
+	// ExpResult is one regenerated figure.
+	ExpResult = experiments.Result
+)
+
+// Mapping rules (paper §4.2).
+const (
+	OneToOne    = core.OneToOne
+	Specialized = core.Specialized
+	General     = core.GeneralRule
+)
+
+// NewBuilder starts assembling an application.
+func NewBuilder() *Builder { return app.NewBuilder() }
+
+// NewChainApplication builds a linear chain with the given task types.
+func NewChainApplication(types []TypeID) (*Application, error) { return app.NewChain(types) }
+
+// NewPlatform wraps an execution-time matrix w[i][u] (ms).
+func NewPlatform(w [][]float64) (*Platform, error) { return platform.New(w) }
+
+// NewFailureMatrix wraps a loss-probability matrix f[i][u] in [0,1).
+func NewFailureMatrix(f [][]float64) (*FailureMatrix, error) { return failure.New(f) }
+
+// NewInstance validates and bundles the three model parts.
+func NewInstance(a *Application, p *Platform, f *FailureMatrix) (*Instance, error) {
+	return core.NewInstance(a, p, f)
+}
+
+// CampaignParams returns the paper's standard random-campaign parameters
+// (w in [100,1000] ms, f in [0.5%,2%]) for n tasks of p types on m
+// machines.
+func CampaignParams(n, p, m int) GenParams { return gen.Default(n, p, m) }
+
+// GenerateChain draws a random linear-chain instance.
+func GenerateChain(pr GenParams, seed int64) (*Instance, error) {
+	return gen.Chain(pr, gen.RNG(seed))
+}
+
+// GenerateInTree draws a random in-tree instance with the given number of
+// branches merged by a final assembly task.
+func GenerateInTree(pr GenParams, branches int, seed int64) (*Instance, error) {
+	return gen.InTree(pr, branches, gen.RNG(seed))
+}
+
+// Heuristics lists the registered heuristic names (the paper's six plus
+// the H2r ablation).
+func Heuristics() []string { return heuristics.Names() }
+
+// Solve runs the named method on the instance and returns its mapping.
+//
+// Methods: the heuristics "H1".."H4f" and "H2r" (specialized rule); "MIP"
+// — the exact mixed-integer program, warm-started with H4w, 30 s budget;
+// "exact" — the DFS branch and bound, 30 s budget; "oto" — the optimal
+// one-to-one mapping (requires task-only failures or a homogeneous
+// platform chain); "oto-greedy" — the polynomial one-to-one fallback.
+// The seed only matters for "H1".
+func Solve(in *Instance, method string, seed int64) (*Mapping, error) {
+	switch method {
+	case "MIP", "mip":
+		warm, err := heuristics.H4w(in, nil, heuristics.Options{})
+		if err != nil {
+			warm = nil
+		}
+		res, err := milp.Solve(in, milp.Options{
+			Rule:      core.Specialized,
+			WarmStart: warm,
+			TimeLimit: 30 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Mapping == nil {
+			return nil, fmt.Errorf("microfab: MIP budget exhausted with no solution")
+		}
+		return res.Mapping, nil
+	case "exact":
+		res, err := exact.Solve(in, exact.Options{
+			Rule:      core.Specialized,
+			TimeLimit: 30 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Mapping, nil
+	case "oto":
+		if mp, err := oto.OptimalTaskOnly(in); err == nil {
+			return mp, nil
+		}
+		return oto.OptimalChainHomogeneous(in)
+	case "oto-greedy":
+		return oto.Greedy(in)
+	default:
+		h, err := heuristics.Get(method)
+		if err != nil {
+			return nil, err
+		}
+		return h.Fn(in, gen.RNG(seed), heuristics.Options{})
+	}
+}
+
+// SolveSplit runs the divisible-task extension (H4w refined by workload
+// splitting) and returns the fractional mapping.
+func SolveSplit(in *Instance) (*SplitMapping, error) {
+	return heuristics.H4wSplit(in, nil, heuristics.Options{})
+}
+
+// Evaluate computes the period, throughput, per-machine loads and product
+// counts of a complete mapping.
+func Evaluate(in *Instance, m *Mapping) (*Evaluation, error) { return core.Evaluate(in, m) }
+
+// EvaluateSplit evaluates a fractional mapping.
+func EvaluateSplit(in *Instance, s *SplitMapping) (*Evaluation, error) {
+	return core.EvaluateSplit(in, s)
+}
+
+// PlanInputs returns the expected raw products each source must receive so
+// that xout finished products leave the system.
+func PlanInputs(in *Instance, m *Mapping, xout float64) (*core.InputPlan, error) {
+	return core.PlanInputs(in, m, xout)
+}
+
+// Simulate runs the discrete-event micro-factory on a mapped instance.
+func Simulate(in *Instance, m *Mapping, opt SimOptions) (*SimStats, error) {
+	return sim.Run(in, m, opt)
+}
+
+// PlanBatches sizes raw-product batches for a target output with a safety
+// margin (e.g. 1.1).
+func PlanBatches(in *Instance, m *Mapping, xout, margin float64) ([]int64, error) {
+	return sim.PlanBatches(in, m, xout, margin)
+}
+
+// MeasureThroughput estimates the steady-state empirical throughput
+// (products per ms) of a mapped instance by simulation.
+func MeasureThroughput(in *Instance, m *Mapping, outputs int64, warmupFrac float64, seed int64) (float64, error) {
+	return sim.MeasureThroughput(in, m, outputs, warmupFrac, seed)
+}
+
+// Figure regenerates one of the paper's evaluation figures (5..12).
+func Figure(num int, cfg ExpConfig) (*ExpResult, error) { return experiments.Figure(num, cfg) }
+
+// RenderFigure formats a regenerated figure as an aligned text table.
+func RenderFigure(r *ExpResult) string { return experiments.Render(r) }
