@@ -80,6 +80,27 @@ func BenchmarkFig12(b *testing.B) {
 	benchFigure(b, 12, experiments.Config{Draws: 2, Thin: 5, Seed: 1, MIPTimeLimit: 3 * time.Second}, "H4w")
 }
 
+// --- Sequential vs parallel engine ---------------------------------------
+
+// benchFigureWorkers reruns a heuristic-only campaign with a fixed worker
+// count. Compare the Sequential/Parallel pairs to see the experiment
+// engine's scaling on your hardware; the outputs are byte-identical by
+// construction, only the wall time changes.
+func benchFigureWorkers(b *testing.B, num, workers int) {
+	b.Helper()
+	cfg := experiments.Config{Draws: 6, Thin: 2, Seed: 1, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure(num, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05Sequential(b *testing.B) { benchFigureWorkers(b, 5, 1) }
+func BenchmarkFig05Parallel(b *testing.B)   { benchFigureWorkers(b, 5, 0) }
+func BenchmarkFig09Sequential(b *testing.B) { benchFigureWorkers(b, 9, 1) }
+func BenchmarkFig09Parallel(b *testing.B)   { benchFigureWorkers(b, 9, 0) }
+
 // --- Ablations -----------------------------------------------------------
 
 // benchHeuristic measures one heuristic on a fixed mid-size instance and

@@ -7,14 +7,20 @@
 //	mfexp -fig 5            # one figure, paper-scale draws
 //	mfexp -all -draws 5     # all figures, 5 draws per point (quick)
 //	mfexp -fig 10 -mip-time 5s
+//	mfexp -fig 9 -workers 8 -progress
 //
-// Campaigns are deterministic for a given -seed.
+// Campaigns are deterministic for a given -seed, whatever -workers is
+// (for the MIP figures 10..12 this additionally needs the node budget,
+// not the -mip-time wall clock, to be the binding solver limit); Ctrl-C
+// cancels at the next draw boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"microfab/internal/experiments"
@@ -22,16 +28,27 @@ import (
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "figure number (5..12)")
-		all     = flag.Bool("all", false, "run every figure")
-		draws   = flag.Int("draws", 0, "random draws per point (0 = the paper's count)")
-		thin    = flag.Int("thin", 0, "keep every k-th x point (0 = all)")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		mipTime = flag.Duration("mip-time", 10*time.Second, "time budget per exact MIP solve")
+		fig      = flag.Int("fig", 0, "figure number (5..12)")
+		all      = flag.Bool("all", false, "run every figure")
+		draws    = flag.Int("draws", 0, "random draws per point (0 = the paper's count)")
+		thin     = flag.Int("thin", 0, "keep every k-th x point (0 = all)")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		mipTime  = flag.Duration("mip-time", 10*time.Second, "time budget per exact MIP solve")
+		workers  = flag.Int("workers", 0, "concurrent draw workers (0 = all CPUs, 1 = sequential)")
+		progress = flag.Bool("progress", false, "report draw progress on stderr")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
 		Draws: *draws, Thin: *thin, Seed: *seed, MIPTimeLimit: *mipTime,
+		Workers: *workers,
+	}
+	if *progress {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d draws", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	var figs []int
 	switch {
@@ -43,9 +60,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	for _, n := range figs {
 		start := time.Now()
-		r, err := experiments.Figure(n, cfg)
+		r, err := experiments.FigureCtx(ctx, n, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mfexp:", err)
 			os.Exit(1)

@@ -7,9 +7,14 @@
 //
 //	microfab -in instance.json [-method H4w] [-rule specialized]
 //	         [-seed 1] [-out mapping.json]
+//	microfab -fig 5 [-draws 5] [-thin 2] [-workers 8] [-seed 1]
 //
 // Methods: H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy
 // (see package microfab's Solve for their meaning).
+//
+// With -fig the instance flags are ignored and the paper's evaluation
+// figure is regenerated through the facade instead, fanning draws out
+// over -workers goroutines (see cmd/mfexp for the full campaign CLI).
 package main
 
 import (
@@ -25,14 +30,25 @@ import (
 
 func main() {
 	var (
-		inPath  = flag.String("in", "", "instance JSON file (required)")
+		inPath  = flag.String("in", "", "instance JSON file (required unless -fig)")
 		method  = flag.String("method", "H4w", "solving method (H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy)")
 		rule    = flag.String("rule", "specialized", "rule to validate the result against: one-to-one | specialized | general")
-		seed    = flag.Int64("seed", 1, "random seed (H1 only)")
+		seed    = flag.Int64("seed", 1, "random seed (H1 only; campaign seed with -fig)")
 		outPath = flag.String("out", "", "write the mapping as JSON to this file")
 		xout    = flag.Float64("xout", 0, "if > 0, also print the input plan for this many finished products")
+		fig     = flag.Int("fig", 0, "regenerate this evaluation figure (5..12) instead of solving an instance")
+		draws   = flag.Int("draws", 0, "with -fig: random draws per point (0 = the paper's count)")
+		thin    = flag.Int("thin", 0, "with -fig: keep every k-th x point (0 = all)")
+		workers = flag.Int("workers", 0, "with -fig: concurrent draw workers (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
+	if *fig != 0 {
+		if err := runFigure(*fig, *draws, *thin, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "microfab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *inPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -41,6 +57,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microfab:", err)
 		os.Exit(1)
 	}
+}
+
+func runFigure(fig, draws, thin, workers int, seed int64) error {
+	r, err := microfab.Figure(fig, microfab.ExpConfig{
+		Draws: draws, Thin: thin, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(microfab.RenderFigure(r))
+	return nil
 }
 
 func run(inPath, method, ruleName string, seed int64, outPath string, xout float64) error {

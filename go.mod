@@ -1,0 +1,3 @@
+module microfab
+
+go 1.24

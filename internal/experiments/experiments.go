@@ -5,13 +5,28 @@
 // returns the series of mean periods the paper charts.
 //
 // The paper's campaigns average 30 random draws per point (100 for
-// Figure 9); Config.Draws scales this down for quick runs. Everything is
-// deterministic given Config.Seed.
+// Figure 9); Config.Draws scales this down for quick runs.
+//
+// Campaigns execute on a worker pool: every (point, draw) pair is an
+// independent work item fanned out across Config.Workers goroutines.
+// Determinism is preserved by construction — each item derives a private
+// RNG stream from (Config.Seed, figure, point, draw) via gen.DeriveRNG,
+// and the reduction walks items in sequential order — so Workers=1 and
+// Workers=N produce byte-identical results for the same Config.Seed.
+// One caveat: the MIP figures (10..12) bound their exact solves by
+// wall-clock time as well as node count, and a deadline that fires at a
+// different node under CPU contention can flip a draw between proven and
+// dropped. For byte-identical MIP campaigns set MIPMaxNodes low enough
+// (or MIPTimeLimit high enough) that the node budget binds first.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"microfab/internal/core"
@@ -34,8 +49,18 @@ type Config struct {
 	Thin int
 	// MIPTimeLimit bounds each exact solve (0 = 10s).
 	MIPTimeLimit time.Duration
-	// MIPMaxNodes bounds each exact solve's search (0 = 100000).
+	// MIPMaxNodes bounds each exact solve's search (0 = 100000). Unlike
+	// the wall-clock limit, a binding node budget is deterministic.
 	MIPMaxNodes int
+	// Workers is the number of goroutines computing draws concurrently
+	// (0 = runtime.GOMAXPROCS(0); 1 = sequential). Any value yields the
+	// same series for the same Seed, except when a wall-clock solver
+	// budget binds on the MIP figures (see the package comment).
+	Workers int
+	// Progress, when non-nil, is called after every completed draw with
+	// the number of draws finished so far and the campaign total. Calls
+	// are serialized across workers; keep the callback fast.
+	Progress func(done, total int)
 }
 
 func (c Config) seed() int64 {
@@ -77,6 +102,13 @@ func (c Config) mipNodes() int {
 	return 100000
 }
 
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Point is one x-axis position of a figure.
 type Point struct {
 	X int
@@ -97,6 +129,154 @@ type Result struct {
 	Points      []Point
 	Draws       int
 	Seed        int64
+	// Normalized marks per-draw ratio series (Figure 11) rather than raw
+	// periods.
+	Normalized bool
+}
+
+// Per-draw stream indices: every consumer of randomness inside one draw
+// derives its own child stream from the draw's sub-seed, so adding a
+// consumer never perturbs the others.
+const (
+	streamInstance  int64 = 0
+	streamHeuristic int64 = 999
+)
+
+// campaign describes one figure: its metadata, x-axis grid, and the
+// function computing every series value of a single draw.
+type campaign struct {
+	id, title, xlabel, ylabel string
+	// order lists the series a draw emits, in render order.
+	order      []string
+	paperDraws int
+	xs         []int
+	normalized bool
+	// countSolved makes the reduction tally kept draws into Point.Solved
+	// (MIP figures).
+	countSolved bool
+	// run computes one draw at x-axis value x. sub seeds the draw's
+	// private random streams (derive children with gen.DeriveRNG /
+	// gen.SubSeed, never share an RNG across draws). ok=false drops the
+	// draw (exact budget exhausted), mirroring the paper's rule.
+	run func(ctx context.Context, x int, sub int64) (map[string]float64, bool, error)
+}
+
+// drawOut is the outcome of one (point, draw) work item.
+type drawOut struct {
+	values map[string]float64
+	ok     bool
+}
+
+// runCampaign is the concurrent engine shared by every figure. It fans the
+// campaign's (point, draw) items out over cfg.Workers goroutines, cancels
+// the fleet on the first error or parent-context cancellation, and reduces
+// the per-draw outputs in deterministic sequential order.
+func runCampaign(ctx context.Context, cfg Config, c campaign) (*Result, error) {
+	res := &Result{
+		ID: c.id, Title: c.title, XLabel: c.xlabel, YLabel: c.ylabel,
+		SeriesOrder: c.order, Draws: cfg.draws(c.paperDraws), Seed: cfg.seed(),
+		Normalized: c.normalized,
+	}
+	xs := cfg.thin(c.xs)
+	figKey := gen.StringSeed(c.id)
+	total := len(xs) * res.Draws
+
+	out := make([][]drawOut, len(xs))
+	for i := range out {
+		out[i] = make([]drawOut, res.Draws)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type item struct{ xi, x, d int }
+	jobs := make(chan item)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	workers := cfg.workers()
+	if workers > total {
+		workers = total
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain remaining items
+				}
+				sub := gen.SubSeed(res.Seed, figKey, int64(it.x), int64(it.d))
+				vals, ok, err := c.run(ctx, it.x, sub)
+				if err != nil {
+					fail(fmt.Errorf("%s: x=%d draw=%d: %w", c.id, it.x, it.d, err))
+					continue
+				}
+				mu.Lock()
+				out[it.xi][it.d] = drawOut{values: vals, ok: ok}
+				done++
+				if cfg.Progress != nil {
+					cfg.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for xi, x := range xs {
+		for d := 0; d < res.Draws; d++ {
+			select {
+			case jobs <- item{xi, x, d}:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", c.id, err)
+	}
+
+	// Reduce in (point, draw) order: identical to what a sequential run
+	// appends, whatever order the workers finished in.
+	for xi, x := range xs {
+		pt := Point{X: x, Series: map[string]stats.Summary{}}
+		samples := map[string][]float64{}
+		for d := 0; d < res.Draws; d++ {
+			o := out[xi][d]
+			if !o.ok {
+				continue
+			}
+			if c.countSolved {
+				pt.Solved++
+			}
+			for _, name := range c.order {
+				if v, present := o.values[name]; present {
+					samples[name] = append(samples[name], v)
+				}
+			}
+		}
+		for _, name := range c.order {
+			pt.Series[name] = stats.Summarize(samples[name])
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
 }
 
 // runHeuristic names a heuristic and produces its period on an instance.
@@ -112,36 +292,28 @@ func runHeuristic(name string, in *core.Instance, seed int64) (float64, error) {
 	return core.Period(in, mp), nil
 }
 
-// sweep runs a heuristic-only campaign over x-axis values.
-func sweep(cfg Config, id, title, xlabel string, xs []int, names []string, paperDraws int,
-	draw func(x int, rng int64) (*core.Instance, error)) (*Result, error) {
-	res := &Result{
-		ID: id, Title: title, XLabel: xlabel, YLabel: "period (ms)",
-		SeriesOrder: names, Draws: cfg.draws(paperDraws), Seed: cfg.seed(),
-	}
-	for _, x := range cfg.thin(xs) {
-		pt := Point{X: x, Series: map[string]stats.Summary{}}
-		samples := map[string][]float64{}
-		for d := 0; d < res.Draws; d++ {
-			sub := gen.SubSeed(res.Seed, int64(x), int64(d))
-			in, err := draw(x, sub)
+// sweepCampaign builds a heuristic-only campaign over x-axis values.
+func sweepCampaign(id, title, xlabel string, xs []int, names []string, paperDraws int,
+	draw func(x int, rng *rand.Rand) (*core.Instance, error)) campaign {
+	return campaign{
+		id: id, title: title, xlabel: xlabel, ylabel: "period (ms)",
+		order: names, paperDraws: paperDraws, xs: xs,
+		run: func(_ context.Context, x int, sub int64) (map[string]float64, bool, error) {
+			in, err := draw(x, gen.DeriveRNG(sub, streamInstance))
 			if err != nil {
-				return nil, fmt.Errorf("%s: x=%d draw=%d: %w", id, x, d, err)
+				return nil, false, err
 			}
+			vals := make(map[string]float64, len(names))
 			for _, name := range names {
-				p, err := runHeuristic(name, in, gen.SubSeed(sub, 999))
+				p, err := runHeuristic(name, in, gen.SubSeed(sub, streamHeuristic))
 				if err != nil {
-					return nil, fmt.Errorf("%s: %s: %w", id, name, err)
+					return nil, false, fmt.Errorf("%s: %w", name, err)
 				}
-				samples[name] = append(samples[name], p)
+				vals[name] = p
 			}
-		}
-		for _, name := range names {
-			pt.Series[name] = stats.Summarize(samples[name])
-		}
-		res.Points = append(res.Points, pt)
+			return vals, true, nil
+		},
 	}
-	return res, nil
 }
 
 func rangeInts(lo, hi, step int) []int {
@@ -152,104 +324,98 @@ func rangeInts(lo, hi, step int) []int {
 	return out
 }
 
-// Fig5 — specialized mappings, m=50 machines, p=5 types, n=50..150 tasks;
-// all six heuristics. Paper finding: H1 and H4f are far behind the rest.
-func Fig5(cfg Config) (*Result, error) {
-	return sweep(cfg, "fig5", "Specialized mappings, m=50, p=5", "number of tasks",
+// fig5Campaign — specialized mappings, m=50 machines, p=5 types,
+// n=50..150 tasks; all six heuristics. Paper finding: H1 and H4f are far
+// behind the rest.
+func fig5Campaign() campaign {
+	return sweepCampaign("fig5", "Specialized mappings, m=50, p=5", "number of tasks",
 		rangeInts(50, 150, 10),
 		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, 30,
-		func(n int, seed int64) (*core.Instance, error) {
-			return gen.Chain(gen.Default(n, 5, 50), gen.RNG(seed))
+		func(n int, rng *rand.Rand) (*core.Instance, error) {
+			return gen.Chain(gen.Default(n, 5, 50), rng)
 		})
 }
 
-// Fig6 — specialized mappings, m=10, p=2, n=10..100; H2, H3, H4, H4w.
-// Paper finding: H4 sits slightly under the others (its f factor).
-func Fig6(cfg Config) (*Result, error) {
-	return sweep(cfg, "fig6", "Specialized mappings, m=10, p=2", "number of tasks",
+// fig6Campaign — specialized mappings, m=10, p=2, n=10..100; H2, H3, H4,
+// H4w. Paper finding: H4 sits slightly under the others (its f factor).
+func fig6Campaign() campaign {
+	return sweepCampaign("fig6", "Specialized mappings, m=10, p=2", "number of tasks",
 		rangeInts(10, 100, 10),
 		[]string{"H2", "H3", "H4", "H4w"}, 30,
-		func(n int, seed int64) (*core.Instance, error) {
-			return gen.Chain(gen.Default(n, 2, 10), gen.RNG(seed))
+		func(n int, rng *rand.Rand) (*core.Instance, error) {
+			return gen.Chain(gen.Default(n, 2, 10), rng)
 		})
 }
 
-// Fig7 — specialized mappings on a large platform, m=100, p=5, n=100..200;
-// H2, H3, H4w. Paper finding: H4w is the best.
-func Fig7(cfg Config) (*Result, error) {
-	return sweep(cfg, "fig7", "Specialized mappings, m=100, p=5", "number of tasks",
+// fig7Campaign — specialized mappings on a large platform, m=100, p=5,
+// n=100..200; H2, H3, H4w. Paper finding: H4w is the best.
+func fig7Campaign() campaign {
+	return sweepCampaign("fig7", "Specialized mappings, m=100, p=5", "number of tasks",
 		rangeInts(100, 200, 10),
 		[]string{"H2", "H3", "H4w"}, 30,
-		func(n int, seed int64) (*core.Instance, error) {
-			return gen.Chain(gen.Default(n, 5, 100), gen.RNG(seed))
+		func(n int, rng *rand.Rand) (*core.Instance, error) {
+			return gen.Chain(gen.Default(n, 5, 100), rng)
 		})
 }
 
-// Fig8 — high-failure campaign: m=10, p=5, f in [0, 0.1], n=10..100, all
-// heuristics. Paper finding: periods blow up with n and only H2 resists.
-func Fig8(cfg Config) (*Result, error) {
-	return sweep(cfg, "fig8", "High failure rates (f <= 10%), m=10, p=5", "number of tasks",
+// fig8Campaign — high-failure campaign: m=10, p=5, f in [0, 0.1],
+// n=10..100, all heuristics. Paper finding: periods blow up with n and
+// only H2 resists.
+func fig8Campaign() campaign {
+	return sweepCampaign("fig8", "High failure rates (f <= 10%), m=10, p=5", "number of tasks",
 		rangeInts(10, 100, 10),
 		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, 30,
-		func(n int, seed int64) (*core.Instance, error) {
+		func(n int, rng *rand.Rand) (*core.Instance, error) {
 			pr := gen.Default(n, 5, 10)
 			pr.FMin, pr.FMax = 0, 0.1
-			return gen.Chain(pr, gen.RNG(seed))
+			return gen.Chain(pr, rng)
 		})
 }
 
-// Fig9 — one-to-one regime: m=100 machines, n=100 tasks, task-only
+// fig9Campaign — one-to-one regime: m=100 machines, n=100 tasks, task-only
 // failures (f[i][u] = f[i]); the x axis is the number of types
 // p = 20..100. Series: H2, H3, H4w and the optimal one-to-one mapping
 // (bottleneck assignment; "OtO"). Paper findings: H4w is closest to
 // optimal (factor ~1.28 on average) and all heuristics converge as p → m.
-func Fig9(cfg Config) (*Result, error) {
+func fig9Campaign() campaign {
 	names := []string{"H2", "H3", "H4w"}
-	res := &Result{
-		ID: "fig9", Title: "One-to-one regime, m=100, n=100, f[i][u]=f[i]",
-		XLabel: "number of types", YLabel: "period (ms)",
-		SeriesOrder: append(append([]string{}, names...), "OtO"),
-		Draws:       cfg.draws(100), Seed: cfg.seed(),
-	}
-	for _, p := range cfg.thin(rangeInts(20, 100, 10)) {
-		pt := Point{X: p, Series: map[string]stats.Summary{}}
-		samples := map[string][]float64{}
-		for d := 0; d < res.Draws; d++ {
-			sub := gen.SubSeed(res.Seed, int64(p), int64(d))
+	return campaign{
+		id: "fig9", title: "One-to-one regime, m=100, n=100, f[i][u]=f[i]",
+		xlabel: "number of types", ylabel: "period (ms)",
+		order:      append(append([]string{}, names...), "OtO"),
+		paperDraws: 100, xs: rangeInts(20, 100, 10),
+		run: func(_ context.Context, p int, sub int64) (map[string]float64, bool, error) {
 			pr := gen.Default(100, p, 100)
 			pr.TaskOnlyFailures = true
-			in, err := gen.Chain(pr, gen.RNG(sub))
+			in, err := gen.Chain(pr, gen.DeriveRNG(sub, streamInstance))
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
+			vals := make(map[string]float64, len(names)+1)
 			for _, name := range names {
-				v, err := runHeuristic(name, in, gen.SubSeed(sub, 999))
+				v, err := runHeuristic(name, in, gen.SubSeed(sub, streamHeuristic))
 				if err != nil {
-					return nil, err
+					return nil, false, err
 				}
-				samples[name] = append(samples[name], v)
+				vals[name] = v
 			}
 			mp, err := oto.OptimalTaskOnly(in)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			samples["OtO"] = append(samples["OtO"], core.Period(in, mp))
-		}
-		for _, name := range res.SeriesOrder {
-			pt.Series[name] = stats.Summarize(samples[name])
-		}
-		res.Points = append(res.Points, pt)
+			vals["OtO"] = core.Period(in, mp)
+			return vals, true, nil
+		},
 	}
-	return res, nil
 }
 
-// mipSweep shares the Figure 10/11/12 logic: heuristics plus the exact MIP
-// (warm-started with the best heuristic mapping). When normalize is true
-// the series hold per-draw heuristic/MIP period ratios (Figure 11);
+// mipCampaign shares the Figure 10/11/12 logic: heuristics plus the exact
+// MIP (warm-started with the best heuristic mapping). When normalize is
+// true the series hold per-draw heuristic/MIP period ratios (Figure 11);
 // otherwise raw periods. Draws where the MIP fails to prove optimality
 // within its budget are dropped, mirroring the paper's "results reported
 // only if enough successful MIP runs" rule; Point.Solved counts successes.
-func mipSweep(cfg Config, id, title string, xs []int, m, p int, names []string, normalize bool) (*Result, error) {
+func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []string, normalize bool) campaign {
 	ylabel := "period (ms)"
 	if normalize {
 		ylabel = "period / MIP period"
@@ -258,18 +424,14 @@ func mipSweep(cfg Config, id, title string, xs []int, m, p int, names []string, 
 	if normalize {
 		order = names
 	}
-	res := &Result{
-		ID: id, Title: title, XLabel: "number of tasks", YLabel: ylabel,
-		SeriesOrder: order, Draws: cfg.draws(30), Seed: cfg.seed(),
-	}
-	for _, n := range cfg.thin(xs) {
-		pt := Point{X: n, Series: map[string]stats.Summary{}}
-		samples := map[string][]float64{}
-		for d := 0; d < res.Draws; d++ {
-			sub := gen.SubSeed(res.Seed, int64(n), int64(d))
-			in, err := gen.Chain(gen.Default(n, p, m), gen.RNG(sub))
+	return campaign{
+		id: id, title: title, xlabel: "number of tasks", ylabel: ylabel,
+		order: order, paperDraws: 30, xs: xs,
+		normalized: normalize, countSolved: true,
+		run: func(_ context.Context, n int, sub int64) (map[string]float64, bool, error) {
+			in, err := gen.Chain(gen.Default(n, p, m), gen.DeriveRNG(sub, streamInstance))
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			periods := map[string]float64{}
 			var warm *core.Mapping
@@ -277,11 +439,11 @@ func mipSweep(cfg Config, id, title string, xs []int, m, p int, names []string, 
 			for _, name := range names {
 				h, err := heuristics.Get(name)
 				if err != nil {
-					return nil, err
+					return nil, false, err
 				}
-				mp, err := h.Fn(in, gen.RNG(gen.SubSeed(sub, 999)), heuristics.Options{})
+				mp, err := h.Fn(in, gen.DeriveRNG(sub, streamHeuristic), heuristics.Options{})
 				if err != nil {
-					return nil, err
+					return nil, false, err
 				}
 				v := core.Period(in, mp)
 				periods[name] = v
@@ -291,12 +453,14 @@ func mipSweep(cfg Config, id, title string, xs []int, m, p int, names []string, 
 				}
 			}
 			// Strengthen the incumbent with a short DFS burst (the
-			// independent exact solver); a near-optimal warm start
-			// lets the branch and bound spend its budget proving the
-			// bound instead of hunting for solutions.
+			// independent exact solver); a near-optimal warm start lets
+			// the branch and bound spend its budget proving the bound
+			// instead of hunting for solutions. The burst is node-bounded
+			// so a binding budget stays deterministic.
 			if eres, err := exact.Solve(in, exact.Options{
 				Rule:      core.Specialized,
 				Incumbent: warm,
+				MaxNodes:  int64(cfg.mipNodes()),
 				TimeLimit: cfg.mipTime() / 5,
 			}); err == nil && eres.Period < warmPeriod {
 				warm, warmPeriod = eres.Mapping, eres.Period
@@ -308,80 +472,131 @@ func mipSweep(cfg Config, id, title string, xs []int, m, p int, names []string, 
 				MaxNodes:  cfg.mipNodes(),
 			})
 			if err != nil {
-				return nil, fmt.Errorf("%s: n=%d draw=%d: %w", id, n, d, err)
+				return nil, false, err
 			}
 			if !mres.Proven || mres.Mapping == nil {
-				continue // budget exceeded: the paper drops such draws too
+				return nil, false, nil // budget exceeded: the paper drops such draws too
 			}
-			pt.Solved++
+			vals := make(map[string]float64, len(names)+1)
 			for _, name := range names {
 				v := periods[name]
 				if normalize {
 					v /= mres.Period
 				}
-				samples[name] = append(samples[name], v)
+				vals[name] = v
 			}
 			if !normalize {
-				samples["MIP"] = append(samples["MIP"], mres.Period)
+				vals["MIP"] = mres.Period
 			}
-		}
-		for _, name := range res.SeriesOrder {
-			pt.Series[name] = stats.Summarize(samples[name])
-		}
-		res.Points = append(res.Points, pt)
+			return vals, true, nil
+		},
 	}
-	return res, nil
 }
 
-// Fig10 — small instances, m=5 machines, p=2 types, n=2..15 tasks, all six
-// heuristics against the exact MIP optimum. Paper finding: H4w is again
-// the best heuristic; H2 and H4 are close.
-func Fig10(cfg Config) (*Result, error) {
-	return mipSweep(cfg, "fig10", "Heuristics vs MIP, m=5, p=2",
+// Fig5 reproduces Figure 5; see fig5Campaign.
+func Fig5(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig5Campaign())
+}
+
+// Fig6 reproduces Figure 6; see fig6Campaign.
+func Fig6(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig6Campaign())
+}
+
+// Fig7 reproduces Figure 7; see fig7Campaign.
+func Fig7(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig7Campaign())
+}
+
+// Fig8 reproduces Figure 8; see fig8Campaign.
+func Fig8(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig8Campaign())
+}
+
+// Fig9 reproduces Figure 9; see fig9Campaign.
+func Fig9(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig9Campaign())
+}
+
+// fig10Campaign — small instances, m=5 machines, p=2 types, n=2..15 tasks,
+// all six heuristics against the exact MIP optimum. Paper finding: H4w is
+// again the best heuristic; H2 and H4 are close.
+func fig10Campaign(cfg Config) campaign {
+	return mipCampaign(cfg, "fig10", "Heuristics vs MIP, m=5, p=2",
 		rangeInts(2, 15, 1), 5, 2,
 		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, false)
 }
 
-// Fig11 — the Figure 10 campaign normalized per draw by the MIP optimum.
-// Paper finding: H2, H3 and H4w end up at average factors of roughly 1.73,
-// 1.58 and 1.33 from the optimal.
-func Fig11(cfg Config) (*Result, error) {
-	return mipSweep(cfg, "fig11", "Normalization against the MIP, m=5, p=2",
+// fig11Campaign — the Figure 10 campaign normalized per draw by the MIP
+// optimum. Paper finding: H2, H3 and H4w end up at average factors of
+// roughly 1.73, 1.58 and 1.33 from the optimal.
+func fig11Campaign(cfg Config) campaign {
+	return mipCampaign(cfg, "fig11", "Normalization against the MIP, m=5, p=2",
 		rangeInts(2, 15, 1), 5, 2,
 		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, true)
 }
 
-// Fig12 — larger exact campaign, m=9, p=4, n=5..20; H2, H3, H4, H4w vs
-// MIP. Paper finding: past ~15 tasks the MIP stops finding (proving)
-// solutions — visible here as Solved dropping to 0 under the node/time
-// budgets.
-func Fig12(cfg Config) (*Result, error) {
-	return mipSweep(cfg, "fig12", "Heuristics vs MIP, m=9, p=4",
+// fig12Campaign — larger exact campaign, m=9, p=4, n=5..20; H2, H3, H4,
+// H4w vs MIP. Paper finding: past ~15 tasks the MIP stops finding
+// (proving) solutions — visible here as Solved dropping to 0 under the
+// node/time budgets.
+func fig12Campaign(cfg Config) campaign {
+	return mipCampaign(cfg, "fig12", "Heuristics vs MIP, m=9, p=4",
 		rangeInts(5, 20, 1), 9, 4,
 		[]string{"H2", "H3", "H4", "H4w"}, false)
 }
 
-// Figure runs one figure by number (5..12).
-func Figure(num int, cfg Config) (*Result, error) {
+// Fig10 reproduces Figure 10; see fig10Campaign.
+func Fig10(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig10Campaign(cfg))
+}
+
+// Fig11 reproduces Figure 11; see fig11Campaign.
+func Fig11(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig11Campaign(cfg))
+}
+
+// Fig12 reproduces Figure 12; see fig12Campaign.
+func Fig12(cfg Config) (*Result, error) {
+	return runCampaign(context.Background(), cfg, fig12Campaign(cfg))
+}
+
+// figureCampaign maps a figure number to its campaign description.
+func figureCampaign(num int, cfg Config) (campaign, error) {
 	switch num {
 	case 5:
-		return Fig5(cfg)
+		return fig5Campaign(), nil
 	case 6:
-		return Fig6(cfg)
+		return fig6Campaign(), nil
 	case 7:
-		return Fig7(cfg)
+		return fig7Campaign(), nil
 	case 8:
-		return Fig8(cfg)
+		return fig8Campaign(), nil
 	case 9:
-		return Fig9(cfg)
+		return fig9Campaign(), nil
 	case 10:
-		return Fig10(cfg)
+		return fig10Campaign(cfg), nil
 	case 11:
-		return Fig11(cfg)
+		return fig11Campaign(cfg), nil
 	case 12:
-		return Fig12(cfg)
+		return fig12Campaign(cfg), nil
 	}
-	return nil, fmt.Errorf("experiments: no figure %d (have 5..12)", num)
+	return campaign{}, fmt.Errorf("experiments: no figure %d (have 5..12)", num)
+}
+
+// Figure runs one figure by number (5..12).
+func Figure(num int, cfg Config) (*Result, error) {
+	return FigureCtx(context.Background(), num, cfg)
+}
+
+// FigureCtx is Figure with cancellation: the campaign stops at the next
+// draw boundary once ctx is done and returns the context's error.
+func FigureCtx(ctx context.Context, num int, cfg Config) (*Result, error) {
+	c, err := figureCampaign(num, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runCampaign(ctx, cfg, c)
 }
 
 // Numbers lists the reproducible figures.

@@ -70,7 +70,12 @@ func TestFig9OtoDominates(t *testing.T) {
 }
 
 func TestFig10MIPDominatesHeuristics(t *testing.T) {
-	cfg := Config{Draws: 2, Thin: 5, Seed: 11, MIPTimeLimit: 15 * time.Second}
+	if testing.Short() {
+		t.Skip("exact solves are slow; skipped with -short")
+	}
+	// The node budget binds before the time limit: cheap and deterministic.
+	// Large-n draws are dropped as unproven; n=2 always solves.
+	cfg := Config{Draws: 1, Thin: 5, Seed: 11, MIPTimeLimit: 15 * time.Second, MIPMaxNodes: 200}
 	r, err := Fig10(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +100,10 @@ func TestFig10MIPDominatesHeuristics(t *testing.T) {
 }
 
 func TestFig11RatiosAtLeastOne(t *testing.T) {
-	cfg := Config{Draws: 2, Thin: 5, Seed: 13, MIPTimeLimit: 15 * time.Second}
+	if testing.Short() {
+		t.Skip("exact solves are slow; skipped with -short")
+	}
+	cfg := Config{Draws: 1, Thin: 5, Seed: 13, MIPTimeLimit: 15 * time.Second, MIPMaxNodes: 200}
 	r, err := Fig11(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -32,7 +32,7 @@ func Render(r *Result) string {
 			s := pt.Series[name]
 			if s.N == 0 {
 				row = append(row, "-")
-			} else if r.YLabel == "period / MIP period" {
+			} else if r.Normalized {
 				row = append(row, fmt.Sprintf("%.2f", s.Mean))
 			} else {
 				row = append(row, fmt.Sprintf("%.0f", s.Mean))

@@ -200,6 +200,26 @@ func fill(pr Params, a *app.Application, rng *rand.Rand) (*core.Instance, error)
 // the random stream of existing ones.
 func RNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// DeriveRNG returns the deterministic generator of the child stream
+// (parent, idx...): RNG over the SubSeed-derived seed. The experiment
+// engine gives every (figure, point, draw) its own stream this way, so
+// draws can execute on any worker in any order and still produce the
+// byte-identical series a sequential run would.
+func DeriveRNG(parent int64, idx ...int64) *rand.Rand {
+	return RNG(SubSeed(parent, idx...))
+}
+
+// StringSeed folds an identifier (e.g. a figure name) into a seed index
+// (FNV-1a) so textual ids can participate in SubSeed derivations.
+func StringSeed(s string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
 // SubSeed derives a reproducible child seed from a parent seed and indices
 // (a simple SplitMix64-style mix; no external dependency).
 func SubSeed(parent int64, idx ...int64) int64 {

@@ -181,6 +181,45 @@ func TestSubSeedSpread(t *testing.T) {
 	}
 }
 
+func TestDeriveRNGMatchesSubSeed(t *testing.T) {
+	a := DeriveRNG(7, 3, 11)
+	b := RNG(SubSeed(7, 3, 11))
+	for i := 0; i < 50; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("DeriveRNG diverges from RNG(SubSeed(...))")
+		}
+	}
+	c := DeriveRNG(7, 3, 12)
+	d := DeriveRNG(7, 3, 11)
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sibling streams are identical")
+	}
+}
+
+func TestStringSeed(t *testing.T) {
+	if StringSeed("fig5") != StringSeed("fig5") {
+		t.Fatal("StringSeed not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		s := StringSeed(id)
+		if s < 0 {
+			t.Fatalf("negative seed for %q", id)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("%q and %q collide", id, prev)
+		}
+		seen[s] = id
+	}
+}
+
 func TestGeneratedInstanceIsSolvable(t *testing.T) {
 	in, err := Chain(Default(12, 3, 5), RNG(11))
 	if err != nil {

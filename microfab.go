@@ -22,6 +22,7 @@
 package microfab
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -157,6 +158,9 @@ func Solve(in *Instance, method string, seed int64) (*Mapping, error) {
 		if err != nil {
 			return nil, err
 		}
+		if res.Mapping == nil {
+			return nil, fmt.Errorf("microfab: exact search budget exhausted with no solution")
+		}
 		return res.Mapping, nil
 	case "oto":
 		if mp, err := oto.OptimalTaskOnly(in); err == nil {
@@ -212,8 +216,18 @@ func MeasureThroughput(in *Instance, m *Mapping, outputs int64, warmupFrac float
 	return sim.MeasureThroughput(in, m, outputs, warmupFrac, seed)
 }
 
-// Figure regenerates one of the paper's evaluation figures (5..12).
+// Figure regenerates one of the paper's evaluation figures (5..12). The
+// campaign fans its (point, draw) work items out over cfg.Workers
+// goroutines; the result is byte-identical for any worker count unless a
+// wall-clock solver budget binds on the MIP figures (see
+// internal/experiments for the caveat).
 func Figure(num int, cfg ExpConfig) (*ExpResult, error) { return experiments.Figure(num, cfg) }
+
+// FigureCtx is Figure with cancellation: the campaign stops at the next
+// draw boundary once ctx is done.
+func FigureCtx(ctx context.Context, num int, cfg ExpConfig) (*ExpResult, error) {
+	return experiments.FigureCtx(ctx, num, cfg)
+}
 
 // RenderFigure formats a regenerated figure as an aligned text table.
 func RenderFigure(r *ExpResult) string { return experiments.Render(r) }

@@ -233,7 +233,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal("unknown method accepted")
 	}
 
-	r, err := microfab.Figure(6, microfab.ExpConfig{Draws: 2, Thin: 6, Seed: 1, MIPTimeLimit: time.Second})
+	r, err := microfab.Figure(6, microfab.ExpConfig{Draws: 2, Thin: 6, Seed: 1, MIPTimeLimit: time.Second, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
