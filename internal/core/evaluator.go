@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"microfab/internal/app"
+	"microfab/internal/platform"
+)
+
+// Evaluator is a stateful incremental evaluation engine for mappings under
+// construction. Where Evaluate walks all n tasks and m machines on every
+// call, an Evaluator maintains the product counts x[i], the per-machine
+// periods and the current maximum period across mutations, so that the
+// search loops of the exact solver and the heuristics pay only for what a
+// step actually changes:
+//
+//   - Assign(i, u) reprices exactly the tasks whose x-value depends on i's
+//     placement — i itself plus its priced in-tree prefix (the tasks that
+//     feed it, transitively). In the root-first order used by every solver
+//     in this repository the prefix is empty and Assign is O(log m).
+//   - Unassign(i) removes the same set; LIFO push/pop search stacks
+//     therefore run in O(depth) per node instead of O(n).
+//   - Best reads the maximum machine period from a lazily-maintained
+//     tournament tree: mutations only mark machines dirty, a max read
+//     flushes each dirty machine in O(log m). Search interiors that never
+//     read the maximum pay nothing for it.
+//
+// Invariants maintained after every operation:
+//
+//   - a task is *priced* iff it is assigned and its successor chain down to
+//     the root is fully assigned; x[i] = F(i,a(i))·x[succ(i)] exactly as in
+//     ProductCounts (same multiplication order, hence bit-identical values);
+//     unpriced tasks have x = 0, matching PartialProductCounts;
+//   - period(Mu) = Σ x[j]·w[j][u] over priced tasks j on u, kept as a
+//     Neumaier-compensated running sum so that long Assign/Unassign
+//     sequences do not drift from a from-scratch summation (a machine whose
+//     last priced task leaves is reset to exactly 0);
+//   - Best() = (max_u period(Mu), smallest u attaining it), the same
+//     tie-break as Evaluate.
+//
+// An Evaluator is not safe for concurrent use; give each goroutine its own.
+type Evaluator struct {
+	in *Instance
+
+	assign  []platform.MachineID
+	priced  []bool
+	x       []float64 // x[i] when priced, 0 otherwise
+	contrib []float64 // x[i]·w[i][a(i)] when priced, 0 otherwise
+
+	period []float64 // per-machine running sum of contribs
+	comp   []float64 // Neumaier compensation per machine
+	count  []int     // priced tasks per machine (0 -> exact reset)
+
+	// Lazy tournament (max) tree over machine periods: mutations only mark
+	// machines dirty; the tree is brought up to date on the next max read.
+	// Search loops that assign and unassign without reading the maximum
+	// (the DFS interior) therefore pay nothing for it.
+	tree     []float64 // leaf u lives at treeBase+u
+	treeBase int
+	dirty    []platform.MachineID
+	stamp    []int
+	stampID  int
+
+	nAssigned int
+
+	// scratch for the iterative price/unprice walks.
+	stack []app.TaskID
+}
+
+// NewEvaluator returns an Evaluator over the instance with every task
+// unassigned.
+func NewEvaluator(in *Instance) *Evaluator {
+	n, m := in.N(), in.M()
+	base := 1
+	for base < m {
+		base *= 2
+	}
+	e := &Evaluator{
+		in:       in,
+		assign:   make([]platform.MachineID, n),
+		priced:   make([]bool, n),
+		x:        make([]float64, n),
+		contrib:  make([]float64, n),
+		period:   make([]float64, m),
+		comp:     make([]float64, m),
+		count:    make([]int, m),
+		tree:     make([]float64, 2*base),
+		treeBase: base,
+		stamp:    make([]int, m),
+		stampID:  1, // stamp[u] == stampID means dirty; zeroed stamps must not match
+	}
+	for i := range e.assign {
+		e.assign[i] = platform.NoMachine
+	}
+	return e
+}
+
+// NewEvaluatorFrom returns an Evaluator preloaded with the (possibly
+// partial) mapping. The mapping must cover exactly the instance's tasks and
+// reference only machines of the platform.
+func NewEvaluatorFrom(in *Instance, m *Mapping) (*Evaluator, error) {
+	if m.Len() != in.N() {
+		return nil, fmt.Errorf("core: mapping covers %d tasks, instance has %d", m.Len(), in.N())
+	}
+	e := NewEvaluator(in)
+	for _, i := range in.App.ReverseTopological() {
+		if u := m.Machine(i); u != platform.NoMachine {
+			if err := e.Assign(i, u); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e, nil
+}
+
+// Reset returns the Evaluator to the all-unassigned state.
+func (e *Evaluator) Reset() {
+	for i := range e.assign {
+		e.assign[i] = platform.NoMachine
+		e.priced[i] = false
+		e.x[i] = 0
+		e.contrib[i] = 0
+	}
+	for u := range e.period {
+		e.period[u] = 0
+		e.comp[u] = 0
+		e.count[u] = 0
+	}
+	for k := range e.tree {
+		e.tree[k] = 0
+	}
+	e.dirty = e.dirty[:0]
+	e.stampID++
+	e.nAssigned = 0
+}
+
+// Len returns the number of tasks covered.
+func (e *Evaluator) Len() int { return len(e.assign) }
+
+// Complete reports whether every task is assigned.
+func (e *Evaluator) Complete() bool { return e.nAssigned == len(e.assign) }
+
+// Machine returns a(i), or platform.NoMachine when unassigned.
+func (e *Evaluator) Machine(i app.TaskID) platform.MachineID { return e.assign[i] }
+
+// X returns the current product count of task i (0 when its successor
+// chain to the root is not fully assigned), matching PartialProductCounts.
+func (e *Evaluator) X(i app.TaskID) float64 { return e.x[i] }
+
+// MachinePeriod returns the current period(Mu) of machine u.
+func (e *Evaluator) MachinePeriod(u platform.MachineID) float64 {
+	return e.period[u] + e.comp[u]
+}
+
+// Demand returns the product count required downstream of task i —
+// x[succ(i)], or 1 at the root — and whether it is currently known (the
+// successor is priced).
+func (e *Evaluator) Demand(i app.TaskID) (float64, bool) {
+	s := e.in.App.Successor(i)
+	if s == app.NoTask {
+		return 1, true
+	}
+	if !e.priced[s] {
+		return 0, false
+	}
+	return e.x[s], true
+}
+
+// Trial returns the period machine u would reach if it also carried task i,
+// without mutating anything: period(Mu) + x[i]·w[i][u] with x[i] priced on
+// u. The second result is false when i's downstream demand is unknown
+// (successor chain not fully assigned), in which case the period returned
+// is meaningless.
+func (e *Evaluator) Trial(i app.TaskID, u platform.MachineID) (float64, bool) {
+	d, ok := e.Demand(i)
+	if !ok {
+		return math.Inf(1), false
+	}
+	xi := e.in.Failures.Inflation(i, u) * d
+	return e.period[u] + e.comp[u] + xi*e.in.Platform.Time(i, u), true
+}
+
+// Assign sets a(i) = u, repricing the affected prefix of the in-tree and
+// the touched machine periods incrementally. Assigning an already-assigned
+// task moves it (no explicit Unassign needed).
+func (e *Evaluator) Assign(i app.TaskID, u platform.MachineID) error {
+	if int(i) < 0 || int(i) >= len(e.assign) {
+		return fmt.Errorf("core: task %d out of range [0,%d)", int(i), len(e.assign))
+	}
+	if int(u) < 0 || int(u) >= len(e.period) {
+		return fmt.Errorf("core: machine %d out of range [0,%d)", int(u), len(e.period))
+	}
+	if e.assign[i] == u {
+		return nil
+	}
+	if e.priced[i] {
+		e.unpriceSubtree(i)
+	}
+	if e.assign[i] == platform.NoMachine {
+		e.nAssigned++
+	}
+	e.assign[i] = u
+	e.priceSubtree(i)
+	return nil
+}
+
+// Unassign clears task i's machine, unpricing it and its priced prefix. A
+// no-op when i is already unassigned.
+func (e *Evaluator) Unassign(i app.TaskID) {
+	if int(i) < 0 || int(i) >= len(e.assign) || e.assign[i] == platform.NoMachine {
+		return
+	}
+	if e.priced[i] {
+		e.unpriceSubtree(i)
+	}
+	e.assign[i] = platform.NoMachine
+	e.nAssigned--
+}
+
+// Best returns the current maximum machine period and the smallest machine
+// attaining it (platform.NoMachine while no task is priced), matching
+// Evaluate's tie-break.
+func (e *Evaluator) Best() (float64, platform.MachineID) {
+	e.flush()
+	best := e.tree[1]
+	if best <= 0 {
+		return 0, platform.NoMachine
+	}
+	k := 1
+	for k < e.treeBase {
+		if e.tree[2*k] >= e.tree[2*k+1] {
+			k = 2 * k
+		} else {
+			k = 2*k + 1
+		}
+	}
+	return best, platform.MachineID(k - e.treeBase)
+}
+
+// Period returns the current maximum machine period.
+func (e *Evaluator) Period() float64 {
+	e.flush()
+	return e.tree[1]
+}
+
+// Critical returns the machine attaining Period (NoMachine while empty).
+func (e *Evaluator) Critical() platform.MachineID {
+	_, u := e.Best()
+	return u
+}
+
+// Mapping returns an independent snapshot of the current allocation.
+func (e *Evaluator) Mapping() *Mapping { return FromSlice(e.assign) }
+
+// ProductCounts returns a copy of the current x-values (0 for unpriced
+// tasks), matching PartialProductCounts on the snapshot mapping.
+func (e *Evaluator) ProductCounts() []float64 {
+	return append([]float64(nil), e.x...)
+}
+
+// MachinePeriods returns a copy of the current per-machine periods.
+func (e *Evaluator) MachinePeriods() []float64 {
+	out := make([]float64, len(e.period))
+	for u := range out {
+		out[u] = e.period[u] + e.comp[u]
+	}
+	return out
+}
+
+// Evaluation snapshots the incremental state as a full Evaluation. It
+// errors when the mapping is incomplete, matching Evaluate.
+func (e *Evaluator) Evaluation() (*Evaluation, error) {
+	if !e.Complete() {
+		return nil, fmt.Errorf("core: %w", ErrIncompleteMapping)
+	}
+	p, crit := e.Best()
+	ev := &Evaluation{
+		Period:         p,
+		Critical:       crit,
+		MachinePeriods: e.MachinePeriods(),
+		ProductCounts:  e.ProductCounts(),
+	}
+	if ev.Period > 0 {
+		ev.Throughput = 1 / ev.Period
+	}
+	return ev, nil
+}
+
+// --- internal machinery ---------------------------------------------------
+
+// priceSubtree prices task i (if its downstream demand is known) and walks
+// up the in-tree pricing every assigned predecessor whose x-value becomes
+// computable. Tasks already priced cannot occur below an unpriced i, so the
+// walk never re-prices.
+func (e *Evaluator) priceSubtree(i app.TaskID) {
+	d, ok := e.Demand(i)
+	if !ok {
+		return
+	}
+	e.priceTask(i, d)
+	e.stack = e.stack[:0]
+	e.stack = append(e.stack, i)
+	for len(e.stack) > 0 {
+		t := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		for _, p := range e.in.App.Predecessors(t) {
+			if e.assign[p] == platform.NoMachine {
+				continue // p's own prefix stays unpriced too
+			}
+			e.priceTask(p, e.x[t])
+			e.stack = append(e.stack, p)
+		}
+	}
+}
+
+// unpriceSubtree removes task i and every priced task of its in-tree prefix
+// from the machine sums. A priced predecessor implies a priced task (the
+// pricing invariant), so the walk follows priced tasks only.
+func (e *Evaluator) unpriceSubtree(i app.TaskID) {
+	e.unpriceTask(i)
+	e.stack = e.stack[:0]
+	e.stack = append(e.stack, i)
+	for len(e.stack) > 0 {
+		t := e.stack[len(e.stack)-1]
+		e.stack = e.stack[:len(e.stack)-1]
+		for _, p := range e.in.App.Predecessors(t) {
+			if !e.priced[p] {
+				continue
+			}
+			e.unpriceTask(p)
+			e.stack = append(e.stack, p)
+		}
+	}
+}
+
+func (e *Evaluator) priceTask(i app.TaskID, demand float64) {
+	u := e.assign[i]
+	xi := e.in.Failures.Inflation(i, u) * demand
+	e.priced[i] = true
+	e.x[i] = xi
+	e.contrib[i] = xi * e.in.Platform.Time(i, u)
+	e.addPeriod(u, e.contrib[i])
+	e.count[u]++
+	e.touch(u)
+}
+
+func (e *Evaluator) unpriceTask(i app.TaskID) {
+	u := e.assign[i]
+	e.count[u]--
+	if e.count[u] == 0 {
+		// Exact reset: an emptied machine owes nothing to float residue.
+		e.period[u] = 0
+		e.comp[u] = 0
+	} else {
+		e.addPeriod(u, -e.contrib[i])
+	}
+	e.priced[i] = false
+	e.x[i] = 0
+	e.contrib[i] = 0
+	e.touch(u)
+}
+
+// addPeriod adds v to machine u's running sum with Neumaier compensation,
+// bounding the drift of long add/remove sequences to one rounding of the
+// current magnitude instead of one per operation.
+func (e *Evaluator) addPeriod(u platform.MachineID, v float64) {
+	s := e.period[u]
+	t := s + v
+	if math.Abs(s) >= math.Abs(v) {
+		e.comp[u] += (s - t) + v
+	} else {
+		e.comp[u] += (v - t) + s
+	}
+	e.period[u] = t
+}
+
+// touch marks machine u's tournament-tree leaf stale; the stamp array
+// dedupes so a machine appears in the dirty list once between flushes.
+func (e *Evaluator) touch(u platform.MachineID) {
+	if e.stamp[u] == e.stampID {
+		return
+	}
+	e.stamp[u] = e.stampID
+	e.dirty = append(e.dirty, u)
+}
+
+// flush replays the dirty machines into the tournament tree, O(log m)
+// each. Max reads amortize it; pure Assign/Unassign sequences never pay.
+func (e *Evaluator) flush() {
+	if len(e.dirty) == 0 {
+		return
+	}
+	for _, u := range e.dirty {
+		k := e.treeBase + int(u)
+		e.tree[k] = e.period[u] + e.comp[u]
+		for k >>= 1; k >= 1; k >>= 1 {
+			l, r := e.tree[2*k], e.tree[2*k+1]
+			if l >= r {
+				e.tree[k] = l
+			} else {
+				e.tree[k] = r
+			}
+		}
+	}
+	e.dirty = e.dirty[:0]
+	e.stampID++
+}

@@ -1,0 +1,388 @@
+// Differential tests for the incremental Evaluator: every mutation of a
+// random Assign/Unassign sequence is cross-checked against a from-scratch
+// evaluation of the shadow mapping. This is the correctness gate for the
+// incremental engine; FuzzEvaluatorDelta reuses the same checker on
+// fuzzer-decoded instances and scripts.
+//
+// The file lives in the external core_test package so it can draw instances
+// from internal/gen (which itself imports core).
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/platform"
+)
+
+// relTol is the differential tolerance: the incremental sums may order
+// additions differently from the from-scratch walk, but must stay within
+// 1e-12 relative of it.
+const relTol = 1e-12
+
+func close12(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= relTol*scale
+}
+
+// refState is the from-scratch evaluation of a (possibly partial) mapping:
+// PartialProductCounts semantics for x, per-machine periods, max, critical.
+type refState struct {
+	x       []float64
+	periods []float64
+	period  float64
+	crit    platform.MachineID
+}
+
+func reference(in *core.Instance, mp *core.Mapping) refState {
+	x := core.PartialProductCounts(in, mp)
+	periods := make([]float64, in.M())
+	for i := 0; i < in.N(); i++ {
+		id := app.TaskID(i)
+		if u := mp.Machine(id); u != platform.NoMachine {
+			periods[u] += x[i] * in.Platform.Time(id, u)
+		}
+	}
+	ref := refState{x: x, periods: periods, crit: platform.NoMachine}
+	for u, p := range periods {
+		if p > ref.period {
+			ref.period = p
+			ref.crit = platform.MachineID(u)
+		}
+	}
+	return ref
+}
+
+// checkAgainstReference compares every observable of the Evaluator with the
+// from-scratch reference. step annotates failures.
+func checkAgainstReference(t testing.TB, in *core.Instance, mp *core.Mapping, ev *core.Evaluator, step string) {
+	t.Helper()
+	ref := reference(in, mp)
+	for i := 0; i < in.N(); i++ {
+		id := app.TaskID(i)
+		if ev.Machine(id) != mp.Machine(id) {
+			t.Fatalf("%s: task T%d machine %d, shadow mapping has %d", step, i+1, ev.Machine(id), mp.Machine(id))
+		}
+		if !close12(ev.X(id), ref.x[i]) {
+			t.Fatalf("%s: x[%d] = %v, from-scratch %v", step, i, ev.X(id), ref.x[i])
+		}
+	}
+	for u := 0; u < in.M(); u++ {
+		mu := platform.MachineID(u)
+		if !close12(ev.MachinePeriod(mu), ref.periods[u]) {
+			t.Fatalf("%s: period(M%d) = %v, from-scratch %v", step, u+1, ev.MachinePeriod(mu), ref.periods[u])
+		}
+	}
+	p, crit := ev.Best()
+	if !close12(p, ref.period) {
+		t.Fatalf("%s: period %v, from-scratch %v", step, p, ref.period)
+	}
+	if ref.period == 0 {
+		if crit != platform.NoMachine {
+			t.Fatalf("%s: critical M%d on an empty evaluation", step, int(crit)+1)
+		}
+	} else {
+		// Ties at the last ulp may legitimately pick another machine; the
+		// chosen machine's true period must attain the maximum.
+		if crit == platform.NoMachine || !close12(ref.periods[crit], ref.period) {
+			t.Fatalf("%s: critical M%d has period %v, max is %v", step, int(crit)+1, ref.periods[crit], ref.period)
+		}
+	}
+}
+
+// admissible returns the machines task i may use under the rule given the
+// current shadow mapping (recomputed from scratch; test-only cost).
+func admissible(in *core.Instance, mp *core.Mapping, rule core.Rule, i app.TaskID) []platform.MachineID {
+	var out []platform.MachineID
+	ty := in.App.Type(i)
+	for u := 0; u < in.M(); u++ {
+		mu := platform.MachineID(u)
+		ok := true
+		for j := 0; j < in.N() && ok; j++ {
+			jd := app.TaskID(j)
+			if jd == i || mp.Machine(jd) != mu {
+				continue
+			}
+			switch rule {
+			case core.OneToOne:
+				ok = false
+			case core.Specialized:
+				ok = in.App.Type(jd) == ty
+			}
+		}
+		if ok {
+			out = append(out, mu)
+		}
+	}
+	return out
+}
+
+// mutate drives one random Assign/Unassign/reassign step on both the
+// Evaluator and the shadow mapping and returns a description of the step.
+func mutate(in *core.Instance, mp *core.Mapping, ev *core.Evaluator, rule core.Rule, rng *rand.Rand) string {
+	i := app.TaskID(rng.Intn(in.N()))
+	if rng.Float64() < 0.35 && mp.Machine(i) != platform.NoMachine {
+		ev.Unassign(i)
+		mp.Unassign(i)
+		return fmt.Sprintf("unassign T%d", int(i)+1)
+	}
+	cands := admissible(in, mp, rule, i)
+	if len(cands) == 0 {
+		ev.Unassign(i)
+		mp.Unassign(i)
+		return fmt.Sprintf("unassign T%d (no admissible machine)", int(i)+1)
+	}
+	u := cands[rng.Intn(len(cands))]
+	if err := ev.Assign(i, u); err != nil {
+		panic(err)
+	}
+	mp.Assign(i, u)
+	return fmt.Sprintf("assign T%d -> M%d", int(i)+1, int(u)+1)
+}
+
+// TestEvaluatorDifferential drives the Evaluator through long random
+// mutation sequences on >= 50 random instances (chains and in-trees, all
+// three rules) and cross-checks every step against a from-scratch
+// evaluation. Subtests run in parallel so `go test -race` exercises
+// concurrent Evaluators on shared instances.
+func TestEvaluatorDifferential(t *testing.T) {
+	const instances = 54
+	const steps = 220 // 54 * 220 = 11880 mutation steps
+	for k := 0; k < instances; k++ {
+		k := k
+		t.Run(fmt.Sprintf("inst%02d", k), func(t *testing.T) {
+			t.Parallel()
+			rule := core.Rule(k % 3)
+			pr := gen.Default(4+k%17, 2+k%3, 6+k%5)
+			if rule == core.OneToOne {
+				pr.N = 3 + k%8
+				pr.M = pr.N + 2 // one-to-one needs n <= m
+				pr.P = 2
+			}
+			rng := gen.RNG(int64(1000 + k))
+			var in *core.Instance
+			var err error
+			if k%2 == 0 {
+				in, err = gen.Chain(pr, rng)
+			} else {
+				in, err = gen.InTree(pr, 2+k%2, rng)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := core.NewEvaluator(in)
+			mp := core.NewMapping(in.N())
+			checkAgainstReference(t, in, mp, ev, "initial")
+			for s := 0; s < steps; s++ {
+				desc := mutate(in, mp, ev, rule, rng)
+				checkAgainstReference(t, in, mp, ev, fmt.Sprintf("step %d (%s)", s, desc))
+			}
+			// Drain everything: the engine must return to an exact zero.
+			for i := 0; i < in.N(); i++ {
+				ev.Unassign(app.TaskID(i))
+				mp.Unassign(app.TaskID(i))
+			}
+			checkAgainstReference(t, in, mp, ev, "drained")
+			for u := 0; u < in.M(); u++ {
+				if got := ev.MachinePeriod(platform.MachineID(u)); got != 0 {
+					t.Fatalf("drained period(M%d) = %v, want exactly 0", u+1, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluatorMatchesEvaluateComplete checks the snapshot Evaluation of a
+// completed Evaluator against core.Evaluate on the same mapping.
+func TestEvaluatorMatchesEvaluateComplete(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		in, err := gen.Chain(gen.Default(12, 3, 5), gen.RNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := gen.RNG(seed + 77)
+		ev := core.NewEvaluator(in)
+		mp := core.NewMapping(in.N())
+		for _, i := range in.App.ReverseTopological() {
+			u := platform.MachineID(rng.Intn(in.M()))
+			if err := ev.Assign(i, u); err != nil {
+				t.Fatal(err)
+			}
+			mp.Assign(i, u)
+		}
+		got, err := ev.Evaluation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Evaluate(in, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close12(got.Period, want.Period) || !close12(got.Throughput, want.Throughput) {
+			t.Fatalf("seed %d: period %v/%v throughput %v/%v", seed, got.Period, want.Period, got.Throughput, want.Throughput)
+		}
+		for i := range want.ProductCounts {
+			if got.ProductCounts[i] != want.ProductCounts[i] {
+				t.Fatalf("seed %d: x[%d] %v != %v (must be bit-identical: same recurrence)", seed, i, got.ProductCounts[i], want.ProductCounts[i])
+			}
+		}
+		for u := range want.MachinePeriods {
+			if !close12(got.MachinePeriods[u], want.MachinePeriods[u]) {
+				t.Fatalf("seed %d: period(M%d) %v != %v", seed, u+1, got.MachinePeriods[u], want.MachinePeriods[u])
+			}
+		}
+	}
+}
+
+// TestEvaluatorLIFOPushPop mirrors the exact solver's search stack: push
+// root-first, pop back, and require the engine to land on exactly zero.
+func TestEvaluatorLIFOPushPop(t *testing.T) {
+	in, err := gen.InTree(gen.Default(15, 3, 6), 3, gen.RNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(in)
+	mp := core.NewMapping(in.N())
+	order := in.App.ReverseTopological()
+	for d, i := range order {
+		u := platform.MachineID(d % in.M())
+		trial, ok := ev.Trial(i, u)
+		if !ok {
+			t.Fatalf("push %d: demand of T%d unknown in root-first order", d, int(i)+1)
+		}
+		if err := ev.Assign(i, u); err != nil {
+			t.Fatal(err)
+		}
+		mp.Assign(i, u)
+		if got := ev.MachinePeriod(u); !close12(got, trial) {
+			t.Fatalf("push %d: Trial promised %v, Assign produced %v", d, trial, got)
+		}
+		checkAgainstReference(t, in, mp, ev, fmt.Sprintf("push %d", d))
+	}
+	if !ev.Complete() {
+		t.Fatal("evaluator not complete after assigning every task")
+	}
+	for d := len(order) - 1; d >= 0; d-- {
+		ev.Unassign(order[d])
+		mp.Unassign(order[d])
+		checkAgainstReference(t, in, mp, ev, fmt.Sprintf("pop %d", d))
+	}
+	if p, crit := ev.Best(); p != 0 || crit != platform.NoMachine {
+		t.Fatalf("popped to (%v, M%d), want (0, none)", p, int(crit)+1)
+	}
+}
+
+// TestEvaluatorAnyOrderAssignment assigns leaf-first (the worst case for
+// pricing: nothing is priceable until the root arrives) and checks the
+// deferred pricing cascades correctly.
+func TestEvaluatorAnyOrderAssignment(t *testing.T) {
+	in, err := gen.Chain(gen.Default(10, 3, 4), gen.RNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(in)
+	mp := core.NewMapping(in.N())
+	for _, i := range in.App.Topological() { // predecessors first: root last
+		u := platform.MachineID(int(i) % in.M())
+		if err := ev.Assign(i, u); err != nil {
+			t.Fatal(err)
+		}
+		mp.Assign(i, u)
+		checkAgainstReference(t, in, mp, ev, fmt.Sprintf("leaf-first assign T%d", int(i)+1))
+	}
+	// Now reassign a mid-chain task: its whole prefix must rescale.
+	mid := in.App.Topological()[in.N()/2]
+	ev.Assign(mid, platform.MachineID((int(mid)+1)%in.M()))
+	mp.Assign(mid, platform.MachineID((int(mid)+1)%in.M()))
+	checkAgainstReference(t, in, mp, ev, "mid-chain reassign")
+}
+
+// TestNewEvaluatorFrom checks preloading from partial and complete
+// mappings, and the dimension guard.
+func TestNewEvaluatorFrom(t *testing.T) {
+	in, err := gen.Chain(gen.Default(8, 2, 4), gen.RNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := core.NewMapping(in.N())
+	for i := 0; i < in.N(); i += 2 { // a partial mapping with holes
+		mp.Assign(app.TaskID(i), platform.MachineID(i%in.M()))
+	}
+	ev, err := core.NewEvaluatorFrom(in, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, in, mp, ev, "preloaded partial")
+	if _, err := core.NewEvaluatorFrom(in, core.NewMapping(in.N()+1)); err == nil {
+		t.Fatal("wrong-size mapping accepted")
+	}
+}
+
+// TestEvaluatorRangeErrors checks argument validation.
+func TestEvaluatorRangeErrors(t *testing.T) {
+	in, err := gen.Chain(gen.Default(4, 2, 3), gen.RNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := core.NewEvaluator(in)
+	if err := ev.Assign(app.TaskID(99), 0); err == nil {
+		t.Fatal("task out of range accepted")
+	}
+	if err := ev.Assign(0, platform.MachineID(99)); err == nil {
+		t.Fatal("machine out of range accepted")
+	}
+	if _, err := ev.Evaluation(); !errors.Is(err, core.ErrIncompleteMapping) {
+		t.Fatalf("incomplete Evaluation error = %v, want ErrIncompleteMapping", err)
+	}
+}
+
+// TestPeriodEDistinguishesErrors pins the satellite fix: an incomplete
+// mapping and a genuine model violation must be distinguishable, while
+// Period keeps collapsing both to +Inf for greedy comparisons.
+func TestPeriodEDistinguishesErrors(t *testing.T) {
+	in, err := gen.Chain(gen.Default(5, 2, 3), gen.RNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incomplete := core.NewMapping(in.N())
+	if _, err := core.PeriodE(in, incomplete); !errors.Is(err, core.ErrIncompleteMapping) {
+		t.Fatalf("incomplete: err = %v, want ErrIncompleteMapping", err)
+	}
+	if p := core.Period(in, incomplete); !math.IsInf(p, 1) {
+		t.Fatalf("incomplete Period = %v, want +Inf", p)
+	}
+
+	wrongSize := core.NewMapping(in.N() + 3)
+	if _, err := core.PeriodE(in, wrongSize); err == nil || errors.Is(err, core.ErrIncompleteMapping) {
+		t.Fatalf("wrong size: err = %v, want a genuine (non-incomplete) error", err)
+	}
+
+	badMachine := core.NewMapping(in.N())
+	for i := 0; i < in.N(); i++ {
+		badMachine.Assign(app.TaskID(i), platform.MachineID(99))
+	}
+	if _, err := core.PeriodE(in, badMachine); err == nil || errors.Is(err, core.ErrIncompleteMapping) {
+		t.Fatalf("machine out of range: err = %v, want a genuine (non-incomplete) error", err)
+	}
+	if p := core.Period(in, badMachine); !math.IsInf(p, 1) {
+		t.Fatalf("bad-machine Period = %v, want +Inf", p)
+	}
+
+	complete := core.NewMapping(in.N())
+	for i := 0; i < in.N(); i++ {
+		complete.Assign(app.TaskID(i), platform.MachineID(i%in.M()))
+	}
+	p, err := core.PeriodE(in, complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != core.Period(in, complete) {
+		t.Fatalf("PeriodE %v != Period %v on a complete mapping", p, core.Period(in, complete))
+	}
+}

@@ -1,0 +1,200 @@
+// Native Go fuzz targets for the evaluation engine. A byte string decodes
+// into a small instance (chain or random in-tree, typed execution times,
+// arbitrary failure rates) plus, for FuzzEvaluatorDelta, a mutation script;
+// the incremental Evaluator is cross-checked against the from-scratch
+// evaluation after every scripted step. Seed corpus lives in
+// testdata/fuzz/<Target>/ and in the f.Add calls below.
+//
+// Smoke-run locally or in CI with:
+//
+//	go test -run='^$' -fuzz=FuzzEvaluatorDelta -fuzztime=10s ./internal/core
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/failure"
+	"microfab/internal/platform"
+)
+
+// byteProgram reads a byte string as an endless tape (wrapping around), so
+// that any input long enough to seed the sizes decodes to a valid program
+// and the fuzzer never wastes executions on rejected lengths.
+type byteProgram struct {
+	data []byte
+	pos  int
+}
+
+func (p *byteProgram) next() byte {
+	if len(p.data) == 0 {
+		return 0
+	}
+	b := p.data[p.pos%len(p.data)]
+	p.pos++
+	return b
+}
+
+func (p *byteProgram) intn(n int) int { return int(p.next()) % n }
+
+// decodeInstance builds a tiny instance from the tape: n in 2..8 tasks,
+// m in 1..6 machines, chain or random in-tree shape, typed execution times
+// in [1,256] ms and failure rates in [0, 200/256).
+func decodeInstance(p *byteProgram) (*core.Instance, error) {
+	n := 2 + p.intn(7)
+	m := 1 + p.intn(6)
+	ntypes := 1 + p.intn(n)
+	shape := p.next() % 2
+
+	tasks := make([]app.Task, n)
+	for i := range tasks {
+		tasks[i] = app.Task{ID: app.TaskID(i), Type: app.TypeID(p.intn(ntypes))}
+	}
+	var deps []app.Dep
+	for i := 0; i < n-1; i++ {
+		succ := i + 1
+		if shape == 1 {
+			// Random in-tree: any later task may consume i's output; the
+			// single root n-1 is guaranteed because every i feeds forward.
+			succ = i + 1 + p.intn(n-1-i)
+		}
+		deps = append(deps, app.Dep{From: app.TaskID(i), To: app.TaskID(succ)})
+	}
+	a, err := app.New(tasks, deps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Typed execution times: one row per type, shared by its tasks, as the
+	// model requires (platform.CheckTypedTimes).
+	wByType := make([][]float64, ntypes)
+	for ty := range wByType {
+		wByType[ty] = make([]float64, m)
+		for u := range wByType[ty] {
+			wByType[ty][u] = 1 + float64(p.next())
+		}
+	}
+	w := make([][]float64, n)
+	f := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = append([]float64(nil), wByType[tasks[i].Type]...)
+		f[i] = make([]float64, m)
+		for u := range f[i] {
+			f[i][u] = float64(p.next()%200) / 256
+		}
+	}
+	pl, err := platform.New(w)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := failure.New(f)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewInstance(a, pl, fm)
+}
+
+// FuzzProductCounts cross-checks the from-scratch evaluation functions
+// against each other and against an Evaluator replaying the same mapping:
+// ProductCounts vs PartialProductCounts, Evaluate's period/critical versus
+// its own machine periods, PeriodE vs Period, and incremental vs full.
+func FuzzProductCounts(f *testing.F) {
+	f.Add([]byte("microfab"))
+	f.Add([]byte{3, 2, 1, 0, 200, 30, 40, 50, 60, 70, 80, 90, 100})
+	f.Add([]byte{7, 5, 3, 1, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte("\x08\x06\x04\x01chains-and-trees\xff\x00\x7f"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		p := &byteProgram{data: data}
+		in, err := decodeInstance(p)
+		if err != nil {
+			t.Fatalf("decoder built an invalid instance: %v", err)
+		}
+		// A complete mapping from the tape.
+		mp := core.NewMapping(in.N())
+		for i := 0; i < in.N(); i++ {
+			mp.Assign(app.TaskID(i), platform.MachineID(p.intn(in.M())))
+		}
+		x, err := core.ProductCounts(in, mp)
+		if err != nil {
+			t.Fatalf("ProductCounts on a complete mapping: %v", err)
+		}
+		partial := core.PartialProductCounts(in, mp)
+		for i := range x {
+			if x[i] < 1 || math.IsInf(x[i], 0) || math.IsNaN(x[i]) {
+				t.Fatalf("x[%d] = %v, want finite >= 1", i, x[i])
+			}
+			if x[i] != partial[i] {
+				t.Fatalf("x[%d]: full %v != partial %v on a complete mapping", i, x[i], partial[i])
+			}
+		}
+		ev, err := core.Evaluate(in, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxP, crit := 0.0, platform.NoMachine
+		for u, pu := range ev.MachinePeriods {
+			if pu > maxP {
+				maxP, crit = pu, platform.MachineID(u)
+			}
+		}
+		if ev.Period != maxP || ev.Critical != crit {
+			t.Fatalf("Evaluate period/critical (%v, %d) inconsistent with its own MachinePeriods (%v, %d)", ev.Period, ev.Critical, maxP, crit)
+		}
+		pe, err := core.PeriodE(in, mp)
+		if err != nil || pe != ev.Period {
+			t.Fatalf("PeriodE = (%v, %v), want (%v, nil)", pe, err, ev.Period)
+		}
+		inc, err := core.NewEvaluatorFrom(in, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstReference(t, in, mp, inc, "replayed mapping")
+	})
+}
+
+// FuzzEvaluatorDelta decodes an instance plus a mutation script and
+// cross-checks the incremental engine against the from-scratch evaluation
+// after every step — the fuzz twin of TestEvaluatorDifferential.
+func FuzzEvaluatorDelta(f *testing.F) {
+	f.Add([]byte("incremental-evaluator"))
+	f.Add([]byte{5, 3, 2, 1, 100, 100, 100, 0, 1, 2, 0, 1, 0, 2, 1, 1, 2, 0, 2, 2, 1, 0, 0, 1})
+	f.Add([]byte{8, 6, 1, 0, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 3, 3, 3, 2, 2, 2, 1, 1, 1, 0, 0, 0})
+	f.Add([]byte("\x04\x02\x02\x01push\x00pop\xffpush\x01pop\xfe"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		p := &byteProgram{data: data}
+		in, err := decodeInstance(p)
+		if err != nil {
+			t.Fatalf("decoder built an invalid instance: %v", err)
+		}
+		ev := core.NewEvaluator(in)
+		mp := core.NewMapping(in.N())
+		steps := 8 + p.intn(56)
+		for s := 0; s < steps; s++ {
+			op := p.next()
+			i := app.TaskID(p.intn(in.N()))
+			var desc string
+			if op%3 == 2 {
+				ev.Unassign(i)
+				mp.Unassign(i)
+				desc = fmt.Sprintf("unassign T%d", int(i)+1)
+			} else {
+				u := platform.MachineID(p.intn(in.M()))
+				if err := ev.Assign(i, u); err != nil {
+					t.Fatal(err)
+				}
+				mp.Assign(i, u)
+				desc = fmt.Sprintf("assign T%d -> M%d", int(i)+1, int(u)+1)
+			}
+			checkAgainstReference(t, in, mp, ev, fmt.Sprintf("step %d (%s)", s, desc))
+		}
+	})
+}

@@ -1,12 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"microfab/internal/app"
 	"microfab/internal/platform"
 )
+
+// ErrIncompleteMapping tags evaluation failures caused by unassigned tasks,
+// as opposed to genuine model errors (wrong mapping size, machine out of
+// range). Callers distinguish the two with errors.Is; Period collapses both
+// to +Inf for greedy comparisons, PeriodE surfaces them.
+var ErrIncompleteMapping = errors.New("mapping is incomplete")
 
 // ProductCounts computes x[i] for every task under the given complete
 // mapping: the average number of products task Ti must start processing so
@@ -16,13 +23,23 @@ import (
 // x[i] = F(i) * x[succ(i)], with F(i) = 1/(1 - f[i][a(i)]). A join consumes
 // one product from each predecessor per output, so the same recurrence holds
 // on every branch of the in-tree.
+//
+// An unassigned task yields an error wrapping ErrIncompleteMapping; a
+// mapping of the wrong size or referencing an unknown machine yields a
+// plain (genuine) error.
 func ProductCounts(in *Instance, m *Mapping) ([]float64, error) {
 	n := in.N()
+	if m.Len() != n {
+		return nil, fmt.Errorf("core: mapping covers %d tasks, instance has %d", m.Len(), n)
+	}
 	x := make([]float64, n)
 	for _, i := range in.App.ReverseTopological() {
 		u := m.Machine(i)
 		if u == platform.NoMachine {
-			return nil, fmt.Errorf("core: task T%d is unassigned", int(i)+1)
+			return nil, fmt.Errorf("core: task T%d is unassigned: %w", int(i)+1, ErrIncompleteMapping)
+		}
+		if int(u) < 0 || int(u) >= in.M() {
+			return nil, fmt.Errorf("core: task T%d mapped to machine %d, platform has %d", int(i)+1, int(u), in.M())
 		}
 		demand := 1.0 // virtual successor of the root wants one product
 		if s := in.App.Successor(i); s != app.NoTask {
@@ -120,14 +137,28 @@ func Evaluate(in *Instance, m *Mapping) (*Evaluation, error) {
 	return ev, nil
 }
 
-// Period is a convenience wrapper returning only the period (+Inf on an
-// incomplete mapping, so greedy searches can compare candidates safely).
+// Period is a convenience wrapper returning only the period (+Inf on any
+// evaluation failure, so greedy searches can compare candidates safely).
+// It cannot distinguish an incomplete mapping from a genuine evaluation
+// error; callers that must react differently use PeriodE.
 func Period(in *Instance, m *Mapping) float64 {
-	ev, err := Evaluate(in, m)
+	p, err := PeriodE(in, m)
 	if err != nil {
 		return math.Inf(1)
 	}
-	return ev.Period
+	return p
+}
+
+// PeriodE returns the period of a mapping, or the evaluation error:
+// errors.Is(err, ErrIncompleteMapping) identifies the (often benign)
+// unassigned-task case, any other error is a genuine model violation that
+// callers should propagate rather than swallow as +Inf.
+func PeriodE(in *Instance, m *Mapping) (float64, error) {
+	ev, err := Evaluate(in, m)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return ev.Period, nil
 }
 
 // InputPlan describes how many raw products each source task must receive

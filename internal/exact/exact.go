@@ -6,12 +6,15 @@
 //
 // The search walks tasks root-first (so x[i] is priced exactly as tasks are
 // placed, exactly like the heuristics) and prunes a branch as soon as the
-// maximum machine load reaches the incumbent period. Worst-case cost is
-// m^n; with pruning it handles the paper's MIP-scale instances
-// (n <= 15, m <= 9) comfortably.
+// maximum machine load reaches the incumbent period. Candidate pricing,
+// machine loads and the running maximum all live in a core.Evaluator, whose
+// Assign/Unassign push/pop keeps the per-node cost at O(log m) instead of a
+// full O(n·m) re-evaluation. Worst-case cost is m^n; with pruning it
+// handles the paper's MIP-scale instances (n <= 15, m <= 9) comfortably.
 package exact
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -56,11 +59,9 @@ type searcher struct {
 	order []app.TaskID
 	m     int
 
-	spec   []app.TypeID // Specialized bookkeeping (-1 free)
-	used   []bool       // OneToOne bookkeeping
-	load   []float64
-	x      []float64
-	assign []platform.MachineID
+	spec []app.TypeID // Specialized bookkeeping (-1 free)
+	used []bool       // OneToOne bookkeeping
+	ev   *core.Evaluator
 
 	best       *core.Mapping
 	bestPeriod float64
@@ -88,30 +89,33 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 		m:          in.M(),
 		spec:       make([]app.TypeID, in.M()),
 		used:       make([]bool, in.M()),
-		load:       make([]float64, in.M()),
-		x:          make([]float64, in.N()),
-		assign:     make([]platform.MachineID, in.N()),
+		ev:         core.NewEvaluator(in),
 		bestPeriod: math.Inf(1),
 		maxNodes:   opts.maxNodes(),
 	}
 	for u := range s.spec {
 		s.spec[u] = noType
 	}
-	for i := range s.assign {
-		s.assign[i] = platform.NoMachine
-	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
 	}
 	if opts.Incumbent != nil {
 		if err := opts.Incumbent.CheckRule(in.App, opts.Rule); err == nil {
-			if p := core.Period(in, opts.Incumbent); p < s.bestPeriod {
-				s.bestPeriod = p
-				s.best = opts.Incumbent.Clone()
+			p, err := core.PeriodE(in, opts.Incumbent)
+			switch {
+			case err == nil:
+				if p < s.bestPeriod {
+					s.bestPeriod = p
+					s.best = opts.Incumbent.Clone()
+				}
+			case errors.Is(err, core.ErrIncompleteMapping):
+				// A partial incumbent cannot bound the search; ignore it.
+			default:
+				return nil, fmt.Errorf("exact: incumbent does not evaluate: %w", err)
 			}
 		}
 	}
-	s.dfs(0, 0)
+	s.dfs(0)
 	if s.best == nil {
 		return nil, fmt.Errorf("exact: no feasible mapping under rule %v", opts.Rule)
 	}
@@ -123,7 +127,7 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 	}, nil
 }
 
-func (s *searcher) dfs(k int, maxLoad float64) {
+func (s *searcher) dfs(k int) {
 	if s.stopped {
 		return
 	}
@@ -133,18 +137,17 @@ func (s *searcher) dfs(k int, maxLoad float64) {
 		return
 	}
 	if k == len(s.order) {
-		if maxLoad < s.bestPeriod {
-			s.bestPeriod = maxLoad
-			s.best = core.FromSlice(s.assign)
+		if p, _ := s.ev.Best(); p < s.bestPeriod {
+			s.bestPeriod = p
+			s.best = s.ev.Mapping()
 		}
 		return
 	}
 	i := s.order[k]
 	ty := s.in.App.Type(i)
-	demand := 1.0
-	if succ := s.in.App.Successor(i); succ != app.NoTask {
-		demand = s.x[succ]
-	}
+	// Root-first order guarantees i's demand is priced, so it is hoisted
+	// out of the candidate loop.
+	demand, _ := s.ev.Demand(i)
 	// Symmetry note: free machines are NOT interchangeable (heterogeneous
 	// w and f), so all are tried.
 	for u := 0; u < s.m; u++ {
@@ -160,29 +163,21 @@ func (s *searcher) dfs(k int, maxLoad float64) {
 			}
 		}
 		xi := demand * s.in.Failures.Inflation(i, mu)
-		add := xi * s.in.Platform.Time(i, mu)
-		newLoad := s.load[u] + add
+		newLoad := s.ev.MachinePeriod(mu) + xi*s.in.Platform.Time(i, mu)
 		if newLoad >= s.bestPeriod {
 			continue // this branch can only tie or worsen the incumbent
-		}
-		worst := maxLoad
-		if newLoad > worst {
-			worst = newLoad
 		}
 		// Apply.
 		prevSpec, prevUsed := s.spec[u], s.used[u]
 		s.spec[u] = ty
 		s.used[u] = true
-		s.load[u] = newLoad
-		s.x[i] = xi
-		s.assign[i] = mu
+		_ = s.ev.Assign(i, mu)
 
-		s.dfs(k+1, worst)
+		s.dfs(k + 1)
 
 		// Revert.
+		s.ev.Unassign(i)
 		s.spec[u], s.used[u] = prevSpec, prevUsed
-		s.load[u] = newLoad - add
-		s.assign[i] = platform.NoMachine
 		if s.stopped {
 			return
 		}

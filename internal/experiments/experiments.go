@@ -289,7 +289,7 @@ func runHeuristic(name string, in *core.Instance, seed int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return core.Period(in, mp), nil
+	return core.PeriodE(in, mp)
 }
 
 // sweepCampaign builds a heuristic-only campaign over x-axis values.
@@ -403,7 +403,11 @@ func fig9Campaign() campaign {
 			if err != nil {
 				return nil, false, err
 			}
-			vals["OtO"] = core.Period(in, mp)
+			otoPeriod, err := core.PeriodE(in, mp)
+			if err != nil {
+				return nil, false, err
+			}
+			vals["OtO"] = otoPeriod
 			return vals, true, nil
 		},
 	}
@@ -445,7 +449,10 @@ func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []strin
 				if err != nil {
 					return nil, false, err
 				}
-				v := core.Period(in, mp)
+				v, err := core.PeriodE(in, mp)
+				if err != nil {
+					return nil, false, err
+				}
 				periods[name] = v
 				if v < warmPeriod {
 					warmPeriod = v

@@ -62,13 +62,14 @@ func (o Options) maxIters() int {
 // H1; deterministic heuristics ignore it (it may be nil for them).
 type Func func(in *core.Instance, rng *rand.Rand, opts Options) (*core.Mapping, error)
 
-// state tracks one in-progress specialized assignment.
+// state tracks one in-progress specialized assignment. Product counts,
+// machine loads and the running maximum live in a core.Evaluator; the state
+// adds the specialization bookkeeping (groups, feasibility guard) that the
+// evaluation engine does not know about.
 type state struct {
 	in   *core.Instance
-	m    *core.Mapping
+	ev   *core.Evaluator
 	spec []app.TypeID // specialization per machine; noType when free
-	load []float64    // Σ x[j]·w[j][u] of tasks already placed on u
-	x    []float64    // product counts of placed tasks
 
 	nbFree       int    // machines not yet dedicated to any type
 	typesToGo    int    // types present in the app with no group yet
@@ -78,13 +79,11 @@ type state struct {
 const noType app.TypeID = -1
 
 func newState(in *core.Instance) *state {
-	n, m := in.N(), in.M()
+	m := in.M()
 	s := &state{
 		in:           in,
-		m:            core.NewMapping(n),
+		ev:           core.NewEvaluator(in),
 		spec:         make([]app.TypeID, m),
-		load:         make([]float64, m),
-		x:            make([]float64, n),
 		nbFree:       m,
 		typeHasGroup: make([]bool, in.P()),
 	}
@@ -105,12 +104,17 @@ func newState(in *core.Instance) *state {
 // successor, or 1 at the root. Valid only when the successor is placed,
 // which the reverse-topological walk guarantees.
 func (s *state) demand(i app.TaskID) float64 {
-	succ := s.in.App.Successor(i)
-	if succ == app.NoTask {
-		return 1
-	}
-	return s.x[succ]
+	d, _ := s.ev.Demand(i)
+	return d
 }
+
+// load returns machine u's current period Σ x[j]·w[j][u].
+func (s *state) load(u platform.MachineID) float64 {
+	return s.ev.MachinePeriod(u)
+}
+
+// mapping snapshots the finished assignment.
+func (s *state) mapping() *core.Mapping { return s.ev.Mapping() }
 
 // canUse reports whether machine u may accept a task of type ty under the
 // specialization rule plus the feasibility guard.
@@ -131,8 +135,8 @@ func (s *state) canUse(u platform.MachineID, ty app.TypeID) bool {
 	}
 }
 
-// assign places task i on machine u, updating specialization bookkeeping,
-// x[i] and the machine load.
+// assign places task i on machine u, updating specialization bookkeeping
+// and the incremental evaluation.
 func (s *state) assign(i app.TaskID, u platform.MachineID) {
 	ty := s.in.App.Type(i)
 	if s.spec[u] == noType {
@@ -143,28 +147,20 @@ func (s *state) assign(i app.TaskID, u platform.MachineID) {
 			s.typesToGo--
 		}
 	}
-	s.x[i] = s.in.Failures.Inflation(i, u) * s.demand(i)
-	s.load[u] += s.x[i] * s.in.Platform.Time(i, u)
-	s.m.Assign(i, u)
+	_ = s.ev.Assign(i, u)
 }
 
 // trialLoad returns the period machine u would reach if it also took task i:
 // its current load plus x[i]·w[i][u] with x[i] priced on u.
 func (s *state) trialLoad(i app.TaskID, u platform.MachineID) float64 {
-	xi := s.in.Failures.Inflation(i, u) * s.demand(i)
-	return s.load[u] + xi*s.in.Platform.Time(i, u)
+	t, _ := s.ev.Trial(i, u)
+	return t
 }
 
 // maxLoad returns the current largest machine load (the period of the
 // partial mapping).
 func (s *state) maxLoad() float64 {
-	worst := 0.0
-	for _, l := range s.load {
-		if l > worst {
-			worst = l
-		}
-	}
-	return worst
+	return s.ev.Period()
 }
 
 // validate checks sizes common to all heuristics.
@@ -202,7 +198,7 @@ func greedy(in *core.Instance, cost func(s *state, i app.TaskID, u platform.Mach
 			if !s.canUse(mu, ty) {
 				continue
 			}
-			exec := s.load[u] + cost(s, i, mu)
+			exec := s.load(mu) + cost(s, i, mu)
 			if exec < bestExec {
 				bestExec = exec
 				best = mu
@@ -213,5 +209,5 @@ func greedy(in *core.Instance, cost func(s *state, i app.TaskID, u platform.Mach
 		}
 		s.assign(i, best)
 	}
-	return s.m, nil
+	return s.mapping(), nil
 }

@@ -44,7 +44,7 @@ func H1(in *core.Instance, rng *rand.Rand, _ Options) (*core.Mapping, error) {
 		}
 		s.assign(i, u)
 	}
-	return s.m, nil
+	return s.mapping(), nil
 }
 
 // pickFree returns a uniformly random free machine, or NoMachine.

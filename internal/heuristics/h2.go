@@ -105,7 +105,7 @@ func binarySearch(in *core.Instance, opts Options, pick pickFunc) (*core.Mapping
 			}
 			s.assign(i, u)
 		}
-		return s.m, s.maxLoad(), true
+		return s.mapping(), s.maxLoad(), true
 	}
 
 	best, bestPeriod, ok := attempt(math.Inf(1))

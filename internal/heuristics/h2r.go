@@ -39,7 +39,7 @@ func H2r(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
 			return nil, fmt.Errorf("heuristics: H2r found no admissible machine for task T%d", int(i)+1)
 		}
 	}
-	return s.m, nil
+	return s.mapping(), nil
 }
 
 func init() {

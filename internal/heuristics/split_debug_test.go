@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"math"
 	"testing"
 
 	"microfab/internal/app"
@@ -9,11 +10,11 @@ import (
 	"microfab/internal/platform"
 )
 
-// TestSplitRefinementStepwise drives one rebalance by hand on the
-// high-failure example instance and checks share conservation; it also
-// reports whether the step improves, which guards against the refinement
-// loop silently never firing.
-func TestSplitRefinementStepwise(t *testing.T) {
+// TestSplitRebalanceStep drives one rebalance by hand on the high-failure
+// example instance and asserts the invariants of the water-filling move:
+// the moved task's shares stay a probability distribution, every other
+// task's shares are untouched, and the candidate still evaluates.
+func TestSplitRebalanceStep(t *testing.T) {
 	pr := gen.Default(40, 5, 10)
 	pr.FMin, pr.FMax = 0, 0.10
 	in, err := gen.Chain(pr, gen.RNG(2010))
@@ -29,28 +30,87 @@ func TestSplitRefinementStepwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ev.Critical == platform.NoMachine {
+		t.Fatal("base split has no critical machine")
+	}
 	task := heaviestTaskOn(in, split, ev, ev.Critical, map[app.TaskID]bool{})
 	if task == app.NoTask {
 		t.Fatal("no task found on the critical machine")
 	}
+
 	cand := rebalance(in, split, task)
 	evc, err := core.EvaluateSplit(in, cand)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("rebalanced split does not evaluate: %v", err)
 	}
-	t.Logf("base period %v; after one rebalance of T%d: %v (critical M%d)",
-		ev.Period, int(task)+1, evc.Period, int(ev.Critical)+1)
-	sh := 0.0
-	moved := 0
+	if evc.Period <= 0 || math.IsInf(evc.Period, 0) || math.IsNaN(evc.Period) {
+		t.Fatalf("rebalanced period = %v, want finite > 0", evc.Period)
+	}
+
+	// Share conservation for the moved task: a distribution over machines.
+	sum, moved := 0.0, 0
 	for u := 0; u < in.M(); u++ {
-		v := cand.Share(task, platform.MachineID(u))
-		sh += v
-		if v > 0 {
+		sh := cand.Share(task, platform.MachineID(u))
+		if sh < 0 || sh > 1+1e-9 {
+			t.Fatalf("share(T%d, M%d) = %v outside [0,1]", int(task)+1, u+1, sh)
+		}
+		sum += sh
+		if sh > 0 {
 			moved++
 		}
 	}
-	if sh < 0.999 || sh > 1.001 {
-		t.Fatalf("rebalanced shares sum to %v", sh)
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rebalanced shares of T%d sum to %v, want 1", int(task)+1, sum)
 	}
-	t.Logf("task T%d now split over %d machines", int(task)+1, moved)
+	if moved < 1 {
+		t.Fatalf("T%d left with no machine", int(task)+1)
+	}
+
+	// Every other task's shares are untouched, bit for bit.
+	for j := 0; j < in.N(); j++ {
+		jd := app.TaskID(j)
+		if jd == task {
+			continue
+		}
+		for u := 0; u < in.M(); u++ {
+			mu := platform.MachineID(u)
+			if cand.Share(jd, mu) != split.Share(jd, mu) {
+				t.Fatalf("rebalance of T%d modified share(T%d, M%d): %v -> %v",
+					int(task)+1, j+1, u+1, split.Share(jd, mu), cand.Share(jd, mu))
+			}
+		}
+	}
+}
+
+// TestSplitRefinementNeverWorse pins H4wSplit's contract: the refinement
+// loop only accepts improving rebalances, so the final split period cannot
+// exceed the integral H4w period it starts from.
+func TestSplitRefinementNeverWorse(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		pr := gen.Default(30, 5, 12)
+		pr.FMin, pr.FMax = 0, 0.10
+		in, err := gen.Chain(pr, gen.RNG(2000+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw, err := H4w(in, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := core.EvaluateSplit(in, mw.Split(in.M()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := H4wSplit(in, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.EvaluateSplit(in, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Period > base.Period+1e-9 {
+			t.Fatalf("seed %d: refined split period %v worse than base %v", seed, got.Period, base.Period)
+		}
+	}
 }

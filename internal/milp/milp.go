@@ -25,7 +25,6 @@ package milp
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"microfab/internal/app"
@@ -338,10 +337,11 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 	}
 	// Round the mapping's true period through core, not the LP's K value:
 	// floating big-M slack can leave K a hair off.
-	out.Mapping = mp
-	out.Period = core.Period(in, mp)
-	if math.IsInf(out.Period, 1) {
-		return nil, fmt.Errorf("milp: extracted mapping does not evaluate")
+	period, err := core.PeriodE(in, mp)
+	if err != nil {
+		return nil, fmt.Errorf("milp: extracted mapping does not evaluate: %w", err)
 	}
+	out.Mapping = mp
+	out.Period = period
 	return out, nil
 }

@@ -124,8 +124,11 @@ func OptimalTaskOnly(in *core.Instance) (*core.Mapping, error) {
 }
 
 // BruteForce enumerates every injective task->machine assignment and
-// returns one with the minimum period. Exponential: use only when
-// m^n is tiny (it guards n <= 10 and m <= 10).
+// returns one with the minimum period. The walk is root-first on a
+// core.Evaluator, so each node prices its task incrementally and branches
+// whose machine load already reaches the best period are cut; results are
+// identical to the unpruned enumeration. Exponential: use only when m^n is
+// tiny (it guards n <= 10 and m <= 10).
 func BruteForce(in *core.Instance) (*core.Mapping, error) {
 	if err := check(in); err != nil {
 		return nil, err
@@ -134,27 +137,33 @@ func BruteForce(in *core.Instance) (*core.Mapping, error) {
 	if n > 10 || m > 10 {
 		return nil, fmt.Errorf("oto: brute force refused for n=%d, m=%d (too large)", n, m)
 	}
-	cur := core.NewMapping(n)
+	order := in.App.ReverseTopological()
+	ev := core.NewEvaluator(in)
 	used := make([]bool, m)
 	var best *core.Mapping
 	bestPeriod := math.Inf(1)
-	var rec func(i int)
-	rec = func(i int) {
-		if i == n {
-			if p := core.Period(in, cur); p < bestPeriod {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if p, _ := ev.Best(); p < bestPeriod {
 				bestPeriod = p
-				best = cur.Clone()
+				best = ev.Mapping()
 			}
 			return
 		}
+		i := order[k]
 		for u := 0; u < m; u++ {
 			if used[u] {
 				continue
 			}
+			mu := platform.MachineID(u)
+			if trial, ok := ev.Trial(i, mu); ok && trial >= bestPeriod {
+				continue // loads only grow down the branch
+			}
 			used[u] = true
-			cur.Assign(app.TaskID(i), platform.MachineID(u))
-			rec(i + 1)
-			cur.Unassign(app.TaskID(i))
+			_ = ev.Assign(i, mu)
+			rec(k + 1)
+			ev.Unassign(i)
 			used[u] = false
 		}
 	}

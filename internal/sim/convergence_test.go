@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/heuristics"
+)
+
+// TestSimConvergesToAnalyticPeriod enforces the promise in this package's
+// doc comment: the discrete-event steady-state throughput converges to
+// 1/period computed by package core.
+//
+// The measurement runs batches sized for exactly xout expected outputs
+// (margin 1.0) to full drain and takes Outputs/Time. A windowed
+// measurement over a padded batch (MeasureThroughput's scheme) is NOT
+// suitable here: on in-trees the branch machines chew through the padding
+// margin eagerly, front-loading work that never becomes an output inside
+// the window and biasing the windowed rate well above 1/period. On a
+// drained run the fill and drain transients are O(depth), so their
+// relative weight vanishes as xout grows and the ratio must converge.
+func TestSimConvergesToAnalyticPeriod(t *testing.T) {
+	cases := []struct {
+		name string
+		in   func() (*core.Instance, error)
+	}{
+		{"chain-standard", func() (*core.Instance, error) {
+			return gen.Chain(gen.Default(10, 3, 5), gen.RNG(41))
+		}},
+		{"chain-high-failure", func() (*core.Instance, error) {
+			pr := gen.Default(10, 3, 5)
+			pr.FMin, pr.FMax = 0, 0.10 // the Figure 8 regime
+			return gen.Chain(pr, gen.RNG(42))
+		}},
+		{"intree-join", func() (*core.Instance, error) {
+			return gen.InTree(gen.Default(9, 3, 5), 2, gen.RNG(43))
+		}},
+	}
+	// The ladder: batch sizes with tightening tolerance on the mean of
+	// three seeds. The bands are generous against Bernoulli noise but a
+	// biased simulator or a wrong analytic period (a >=2% effect would
+	// persist at every size) cannot pass the last rungs.
+	ladder := []struct {
+		xout float64
+		tol  float64
+	}{
+		{500, 0.05},
+		{2000, 0.03},
+		{8000, 0.02},
+		{32000, 0.01},
+	}
+	const seeds = 3
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			in, err := tc.in()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := heuristics.H4w(in, nil, heuristics.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := core.Evaluate(in, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rung := range ladder {
+				rung := rung
+				t.Run(fmt.Sprintf("xout=%.0f", rung.xout), func(t *testing.T) {
+					if testing.Short() && rung.xout > 8000 {
+						t.Skip("largest rung skipped in -short")
+					}
+					mean := 0.0
+					for seed := int64(0); seed < seeds; seed++ {
+						batches, err := PlanBatches(in, mp, rung.xout, 1.0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						st, err := Run(in, mp, Options{Inputs: batches, Seed: 100 + seed})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !st.Drained {
+							t.Fatal("run did not drain")
+						}
+						mean += st.Throughput
+					}
+					mean /= seeds
+					rel := math.Abs(mean*ev.Period - 1)
+					if rel > rung.tol {
+						t.Fatalf("empirical throughput %v vs analytic %v: rel err %.4f > %.3f",
+							mean, 1/ev.Period, rel, rung.tol)
+					}
+					t.Logf("rel err %.4f (tol %.3f)", rel, rung.tol)
+				})
+			}
+		})
+	}
+}

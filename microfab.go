@@ -65,6 +65,9 @@ type (
 	SplitMapping = core.SplitMapping
 	// Evaluation is the period/throughput breakdown of a mapping.
 	Evaluation = core.Evaluation
+	// Evaluator is the stateful incremental evaluation engine
+	// (Assign/Unassign/Best) used by the search loops.
+	Evaluator = core.Evaluator
 	// Rule selects the mapping constraint.
 	Rule = core.Rule
 	// GenParams configures random instance generation.
@@ -187,6 +190,21 @@ func SolveSplit(in *Instance) (*SplitMapping, error) {
 // Evaluate computes the period, throughput, per-machine loads and product
 // counts of a complete mapping.
 func Evaluate(in *Instance, m *Mapping) (*Evaluation, error) { return core.Evaluate(in, m) }
+
+// NewEvaluator returns an incremental evaluation engine over the instance
+// with every task unassigned. Assign/Unassign maintain product counts and
+// machine periods in O(changed subtree) per step, only marking the maximum
+// stale; Best reads the current (period, critical machine) by flushing
+// each stale machine into a tournament tree in O(log m) — O(1) when
+// nothing changed. Search loops use it to price candidates without
+// re-evaluating from scratch.
+func NewEvaluator(in *Instance) *Evaluator { return core.NewEvaluator(in) }
+
+// NewEvaluatorFrom returns an incremental evaluation engine preloaded with
+// the (possibly partial) mapping.
+func NewEvaluatorFrom(in *Instance, m *Mapping) (*Evaluator, error) {
+	return core.NewEvaluatorFrom(in, m)
+}
 
 // EvaluateSplit evaluates a fractional mapping.
 func EvaluateSplit(in *Instance, s *SplitMapping) (*Evaluation, error) {
