@@ -8,11 +8,17 @@
 //	mfexp -all -draws 5     # all figures, 5 draws per point (quick)
 //	mfexp -fig 10 -mip-time 5s
 //	mfexp -fig 9 -workers 8 -progress
+//	mfexp -fig 8 -polish ls # hill-climb post-pass on every draw
 //
-// Campaigns are deterministic for a given -seed, whatever -workers is
-// (for the MIP figures 10..12 this additionally needs the node budget,
-// not the -mip-time wall clock, to be the binding solver limit); Ctrl-C
-// cancels at the next draw boundary.
+// -polish refines every heuristic mapping with a bounded local-search
+// post-pass (ls = hill climbing, anneal = simulated annealing) before the
+// series are priced; -polish-budget bounds each pass.
+//
+// Campaigns are deterministic for a given -seed, whatever -workers is —
+// including polished campaigns, which derive one RNG stream per (draw,
+// series) pair (for the MIP figures 10..12 this additionally needs the
+// node budget, not the -mip-time wall clock, to be the binding solver
+// limit); Ctrl-C cancels at the next draw boundary.
 package main
 
 import (
@@ -35,12 +41,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "campaign seed")
 		mipTime  = flag.Duration("mip-time", 10*time.Second, "time budget per exact MIP solve")
 		workers  = flag.Int("workers", 0, "concurrent draw workers (0 = all CPUs, 1 = sequential)")
+		polish   = flag.String("polish", "", "local-search post-pass per draw: ls | anneal")
+		pBudget  = flag.Int("polish-budget", 0, "post-pass budget per mapping (0 = default)")
 		progress = flag.Bool("progress", false, "report draw progress on stderr")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
 		Draws: *draws, Thin: *thin, Seed: *seed, MIPTimeLimit: *mipTime,
-		Workers: *workers,
+		Workers: *workers, Polish: *polish, PolishBudget: *pBudget,
 	}
 	if *progress {
 		cfg.Progress = func(done, total int) {

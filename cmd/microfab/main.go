@@ -5,16 +5,21 @@
 //
 // Usage:
 //
-//	microfab -in instance.json [-method H4w] [-rule specialized]
+//	microfab -in instance.json [-solver H4w] [-rule specialized]
+//	         [-polish ls|anneal] [-polish-budget N]
 //	         [-seed 1] [-out mapping.json]
 //	microfab -fig 5 [-draws 5] [-thin 2] [-workers 8] [-seed 1]
+//	         [-polish ls|anneal]
 //
-// Methods: H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy
-// (see package microfab's Solve for their meaning).
+// Solvers: H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy ls anneal
+// (see package microfab's Solve for their meaning; -method is an alias
+// kept for compatibility). -polish refines the solver's mapping with a
+// bounded local-search post-pass before reporting.
 //
 // With -fig the instance flags are ignored and the paper's evaluation
 // figure is regenerated through the facade instead, fanning draws out
-// over -workers goroutines (see cmd/mfexp for the full campaign CLI).
+// over -workers goroutines; -polish then applies the post-pass to every
+// draw of the campaign (see cmd/mfexp for the full campaign CLI).
 package main
 
 import (
@@ -31,9 +36,12 @@ import (
 func main() {
 	var (
 		inPath  = flag.String("in", "", "instance JSON file (required unless -fig)")
-		method  = flag.String("method", "H4w", "solving method (H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy)")
+		solver  = flag.String("solver", "", "solving method (H1 H2 H2r H3 H4 H4w H4f MIP exact oto oto-greedy ls anneal)")
+		method  = flag.String("method", "", "alias of -solver")
 		rule    = flag.String("rule", "specialized", "rule to validate the result against: one-to-one | specialized | general")
-		seed    = flag.Int64("seed", 1, "random seed (H1 only; campaign seed with -fig)")
+		seed    = flag.Int64("seed", 1, "random seed (H1/anneal/polish; campaign seed with -fig)")
+		polish  = flag.String("polish", "", "local-search post-pass on the solver's mapping: ls | anneal")
+		pBudget = flag.Int("polish-budget", 0, "post-pass budget: moves priced (ls) or proposals (anneal); 0 = default")
 		outPath = flag.String("out", "", "write the mapping as JSON to this file")
 		xout    = flag.Float64("xout", 0, "if > 0, also print the input plan for this many finished products")
 		fig     = flag.Int("fig", 0, "regenerate this evaluation figure (5..12) instead of solving an instance")
@@ -42,8 +50,19 @@ func main() {
 		workers = flag.Int("workers", 0, "with -fig: concurrent draw workers (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
+	if *solver != "" && *method != "" && *solver != *method {
+		fmt.Fprintf(os.Stderr, "microfab: -solver %s and -method %s conflict; pass one\n", *solver, *method)
+		os.Exit(2)
+	}
+	name := *solver
+	if name == "" {
+		name = *method
+	}
+	if name == "" {
+		name = "H4w"
+	}
 	if *fig != 0 {
-		if err := runFigure(*fig, *draws, *thin, *workers, *seed); err != nil {
+		if err := runFigure(*fig, *draws, *thin, *workers, *seed, *polish, *pBudget); err != nil {
 			fmt.Fprintln(os.Stderr, "microfab:", err)
 			os.Exit(1)
 		}
@@ -53,15 +72,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*inPath, *method, *rule, *seed, *outPath, *xout); err != nil {
+	if err := run(*inPath, name, *rule, *seed, *outPath, *xout, *polish, *pBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "microfab:", err)
 		os.Exit(1)
 	}
 }
 
-func runFigure(fig, draws, thin, workers int, seed int64) error {
+func runFigure(fig, draws, thin, workers int, seed int64, polish string, polishBudget int) error {
 	r, err := microfab.Figure(fig, microfab.ExpConfig{
 		Draws: draws, Thin: thin, Seed: seed, Workers: workers,
+		Polish: polish, PolishBudget: polishBudget,
 	})
 	if err != nil {
 		return err
@@ -70,7 +90,7 @@ func runFigure(fig, draws, thin, workers int, seed int64) error {
 	return nil
 }
 
-func run(inPath, method, ruleName string, seed int64, outPath string, xout float64) error {
+func run(inPath, method, ruleName string, seed int64, outPath string, xout float64, polish string, polishBudget int) error {
 	in, err := instance.Load(inPath)
 	if err != nil {
 		return err
@@ -94,13 +114,24 @@ func run(inPath, method, ruleName string, seed int64, outPath string, xout float
 	if err := mp.CheckRule(in.App, rule); err != nil {
 		return fmt.Errorf("%s produced a mapping outside rule %s: %w", method, ruleName, err)
 	}
+	if polish != "" {
+		polished, err := microfab.Polish(in, mp, polish, rule, seed, polishBudget)
+		if err != nil {
+			return fmt.Errorf("polish %s: %w", polish, err)
+		}
+		mp = polished
+	}
 	ev, err := microfab.Evaluate(in, mp)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("instance : %s on %d machines\n", in.App, in.M())
-	fmt.Printf("method   : %s (rule %s)\n", method, ruleName)
+	if polish != "" {
+		fmt.Printf("method   : %s + %s polish (rule %s)\n", method, polish, ruleName)
+	} else {
+		fmt.Printf("method   : %s (rule %s)\n", method, ruleName)
+	}
 	fmt.Printf("mapping  : %s\n", mp)
 	fmt.Printf("period   : %.2f ms (critical machine %s)\n", ev.Period, in.Platform.Name(ev.Critical))
 	fmt.Printf("throughput: %.6f products/ms\n", ev.Throughput)
@@ -127,7 +158,7 @@ func run(inPath, method, ruleName string, seed int64, outPath string, xout float
 			return err
 		}
 		defer f.Close()
-		if err := instance.WriteMapping(f, mp, "produced by cmd/microfab -method "+method); err != nil {
+		if err := instance.WriteMapping(f, mp, "produced by cmd/microfab -solver "+method); err != nil {
 			return err
 		}
 		fmt.Printf("mapping written to %s\n", outPath)

@@ -39,6 +39,9 @@ import (
 //   - Best() = (max_u period(Mu), smallest u attaining it), the same
 //     tie-break as Evaluate.
 //
+// The per-machine sums and the lazy maximum live in a loadLedger, shared
+// with SplitEvaluator (the fractional-mapping counterpart).
+//
 // An Evaluator is not safe for concurrent use; give each goroutine its own.
 type Evaluator struct {
 	in *Instance
@@ -48,19 +51,7 @@ type Evaluator struct {
 	x       []float64 // x[i] when priced, 0 otherwise
 	contrib []float64 // x[i]·w[i][a(i)] when priced, 0 otherwise
 
-	period []float64 // per-machine running sum of contribs
-	comp   []float64 // Neumaier compensation per machine
-	count  []int     // priced tasks per machine (0 -> exact reset)
-
-	// Lazy tournament (max) tree over machine periods: mutations only mark
-	// machines dirty; the tree is brought up to date on the next max read.
-	// Search loops that assign and unassign without reading the maximum
-	// (the DFS interior) therefore pay nothing for it.
-	tree     []float64 // leaf u lives at treeBase+u
-	treeBase int
-	dirty    []platform.MachineID
-	stamp    []int
-	stampID  int
+	led loadLedger
 
 	nAssigned int
 
@@ -72,23 +63,13 @@ type Evaluator struct {
 // unassigned.
 func NewEvaluator(in *Instance) *Evaluator {
 	n, m := in.N(), in.M()
-	base := 1
-	for base < m {
-		base *= 2
-	}
 	e := &Evaluator{
-		in:       in,
-		assign:   make([]platform.MachineID, n),
-		priced:   make([]bool, n),
-		x:        make([]float64, n),
-		contrib:  make([]float64, n),
-		period:   make([]float64, m),
-		comp:     make([]float64, m),
-		count:    make([]int, m),
-		tree:     make([]float64, 2*base),
-		treeBase: base,
-		stamp:    make([]int, m),
-		stampID:  1, // stamp[u] == stampID means dirty; zeroed stamps must not match
+		in:      in,
+		assign:  make([]platform.MachineID, n),
+		priced:  make([]bool, n),
+		x:       make([]float64, n),
+		contrib: make([]float64, n),
+		led:     newLoadLedger(m),
 	}
 	for i := range e.assign {
 		e.assign[i] = platform.NoMachine
@@ -122,16 +103,7 @@ func (e *Evaluator) Reset() {
 		e.x[i] = 0
 		e.contrib[i] = 0
 	}
-	for u := range e.period {
-		e.period[u] = 0
-		e.comp[u] = 0
-		e.count[u] = 0
-	}
-	for k := range e.tree {
-		e.tree[k] = 0
-	}
-	e.dirty = e.dirty[:0]
-	e.stampID++
+	e.led.reset()
 	e.nAssigned = 0
 }
 
@@ -150,7 +122,7 @@ func (e *Evaluator) X(i app.TaskID) float64 { return e.x[i] }
 
 // MachinePeriod returns the current period(Mu) of machine u.
 func (e *Evaluator) MachinePeriod(u platform.MachineID) float64 {
-	return e.period[u] + e.comp[u]
+	return e.led.value(u)
 }
 
 // Demand returns the product count required downstream of task i —
@@ -178,7 +150,7 @@ func (e *Evaluator) Trial(i app.TaskID, u platform.MachineID) (float64, bool) {
 		return math.Inf(1), false
 	}
 	xi := e.in.Failures.Inflation(i, u) * d
-	return e.period[u] + e.comp[u] + xi*e.in.Platform.Time(i, u), true
+	return e.led.value(u) + xi*e.in.Platform.Time(i, u), true
 }
 
 // Assign sets a(i) = u, repricing the affected prefix of the in-tree and
@@ -188,8 +160,8 @@ func (e *Evaluator) Assign(i app.TaskID, u platform.MachineID) error {
 	if int(i) < 0 || int(i) >= len(e.assign) {
 		return fmt.Errorf("core: task %d out of range [0,%d)", int(i), len(e.assign))
 	}
-	if int(u) < 0 || int(u) >= len(e.period) {
-		return fmt.Errorf("core: machine %d out of range [0,%d)", int(u), len(e.period))
+	if int(u) < 0 || int(u) >= len(e.led.period) {
+		return fmt.Errorf("core: machine %d out of range [0,%d)", int(u), len(e.led.period))
 	}
 	if e.assign[i] == u {
 		return nil
@@ -222,26 +194,12 @@ func (e *Evaluator) Unassign(i app.TaskID) {
 // attaining it (platform.NoMachine while no task is priced), matching
 // Evaluate's tie-break.
 func (e *Evaluator) Best() (float64, platform.MachineID) {
-	e.flush()
-	best := e.tree[1]
-	if best <= 0 {
-		return 0, platform.NoMachine
-	}
-	k := 1
-	for k < e.treeBase {
-		if e.tree[2*k] >= e.tree[2*k+1] {
-			k = 2 * k
-		} else {
-			k = 2*k + 1
-		}
-	}
-	return best, platform.MachineID(k - e.treeBase)
+	return e.led.best()
 }
 
 // Period returns the current maximum machine period.
 func (e *Evaluator) Period() float64 {
-	e.flush()
-	return e.tree[1]
+	return e.led.max()
 }
 
 // Critical returns the machine attaining Period (NoMachine while empty).
@@ -261,11 +219,7 @@ func (e *Evaluator) ProductCounts() []float64 {
 
 // MachinePeriods returns a copy of the current per-machine periods.
 func (e *Evaluator) MachinePeriods() []float64 {
-	out := make([]float64, len(e.period))
-	for u := range out {
-		out[u] = e.period[u] + e.comp[u]
-	}
-	return out
+	return e.led.values()
 }
 
 // Evaluation snapshots the incremental state as a full Evaluation. It
@@ -340,69 +294,13 @@ func (e *Evaluator) priceTask(i app.TaskID, demand float64) {
 	e.priced[i] = true
 	e.x[i] = xi
 	e.contrib[i] = xi * e.in.Platform.Time(i, u)
-	e.addPeriod(u, e.contrib[i])
-	e.count[u]++
-	e.touch(u)
+	e.led.charge(u, e.contrib[i])
 }
 
 func (e *Evaluator) unpriceTask(i app.TaskID) {
 	u := e.assign[i]
-	e.count[u]--
-	if e.count[u] == 0 {
-		// Exact reset: an emptied machine owes nothing to float residue.
-		e.period[u] = 0
-		e.comp[u] = 0
-	} else {
-		e.addPeriod(u, -e.contrib[i])
-	}
+	e.led.discharge(u, e.contrib[i])
 	e.priced[i] = false
 	e.x[i] = 0
 	e.contrib[i] = 0
-	e.touch(u)
-}
-
-// addPeriod adds v to machine u's running sum with Neumaier compensation,
-// bounding the drift of long add/remove sequences to one rounding of the
-// current magnitude instead of one per operation.
-func (e *Evaluator) addPeriod(u platform.MachineID, v float64) {
-	s := e.period[u]
-	t := s + v
-	if math.Abs(s) >= math.Abs(v) {
-		e.comp[u] += (s - t) + v
-	} else {
-		e.comp[u] += (v - t) + s
-	}
-	e.period[u] = t
-}
-
-// touch marks machine u's tournament-tree leaf stale; the stamp array
-// dedupes so a machine appears in the dirty list once between flushes.
-func (e *Evaluator) touch(u platform.MachineID) {
-	if e.stamp[u] == e.stampID {
-		return
-	}
-	e.stamp[u] = e.stampID
-	e.dirty = append(e.dirty, u)
-}
-
-// flush replays the dirty machines into the tournament tree, O(log m)
-// each. Max reads amortize it; pure Assign/Unassign sequences never pay.
-func (e *Evaluator) flush() {
-	if len(e.dirty) == 0 {
-		return
-	}
-	for _, u := range e.dirty {
-		k := e.treeBase + int(u)
-		e.tree[k] = e.period[u] + e.comp[u]
-		for k >>= 1; k >= 1; k >>= 1 {
-			l, r := e.tree[2*k], e.tree[2*k+1]
-			if l >= r {
-				e.tree[k] = l
-			} else {
-				e.tree[k] = r
-			}
-		}
-	}
-	e.dirty = e.dirty[:0]
-	e.stampID++
 }

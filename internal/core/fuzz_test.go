@@ -11,6 +11,7 @@
 package core_test
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -18,6 +19,8 @@ import (
 	"microfab/internal/app"
 	"microfab/internal/core"
 	"microfab/internal/failure"
+	"microfab/internal/gen"
+	"microfab/internal/heuristics"
 	"microfab/internal/platform"
 )
 
@@ -40,12 +43,14 @@ func (p *byteProgram) next() byte {
 
 func (p *byteProgram) intn(n int) int { return int(p.next()) % n }
 
-// decodeInstance builds a tiny instance from the tape: n in 2..8 tasks,
-// m in 1..6 machines, chain or random in-tree shape, typed execution times
-// in [1,256] ms and failure rates in [0, 200/256).
+// decodeInstance builds a small instance from the tape: n in 2..15 tasks,
+// m in 1..9 machines (the paper's exact-solver regime; the caps were
+// n <= 8, m <= 6 until the corpus stabilized), chain or random in-tree
+// shape, typed execution times in [1,256] ms and failure rates in
+// [0, 200/256).
 func decodeInstance(p *byteProgram) (*core.Instance, error) {
-	n := 2 + p.intn(7)
-	m := 1 + p.intn(6)
+	n := 2 + p.intn(14)
+	m := 1 + p.intn(9)
 	ntypes := 1 + p.intn(n)
 	shape := p.next() % 2
 
@@ -195,6 +200,202 @@ func FuzzEvaluatorDelta(f *testing.F) {
 				desc = fmt.Sprintf("assign T%d -> M%d", int(i)+1, int(u)+1)
 			}
 			checkAgainstReference(t, in, mp, ev, fmt.Sprintf("step %d (%s)", s, desc))
+		}
+	})
+}
+
+// naiveRuleViolation is the brute-force oracle for Mapping.CheckRule: scan
+// every assigned task pair sharing a machine.
+func naiveRuleViolation(a *app.Application, mp *core.Mapping, rule core.Rule) bool {
+	for i := 0; i < mp.Len(); i++ {
+		ui := mp.Machine(app.TaskID(i))
+		if ui == platform.NoMachine {
+			continue
+		}
+		for j := i + 1; j < mp.Len(); j++ {
+			if mp.Machine(app.TaskID(j)) != ui {
+				continue
+			}
+			switch rule {
+			case core.OneToOne:
+				return true
+			case core.Specialized:
+				if a.Type(app.TaskID(i)) != a.Type(app.TaskID(j)) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FuzzCheckRule decodes an instance plus a mapping (with holes) and
+// cross-checks Mapping.CheckRule against the brute-force pair oracle for
+// all three rules; it then drives every registered heuristic on the
+// instance and enforces the feasibility-guard contract: whenever the
+// types present fit on the machines (p <= m) the heuristic must produce a
+// complete, rule-valid, finitely-priced mapping, and when they do not it
+// must fail with an error instead of returning a broken mapping.
+func FuzzCheckRule(f *testing.F) {
+	f.Add([]byte("check-rule"))
+	f.Add([]byte{9, 4, 3, 0, 120, 30, 40, 55, 60, 70, 85, 90, 5, 0, 1, 2, 3, 4, 0xff, 7})
+	f.Add([]byte{15, 9, 5, 1, 200, 199, 198, 7, 6, 5, 4, 3, 2, 1, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("\x0c\x07\x02\x00guards-and-holes\x00\xff\x10"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		p := &byteProgram{data: data}
+		in, err := decodeInstance(p)
+		if err != nil {
+			t.Fatalf("decoder built an invalid instance: %v", err)
+		}
+		mp := core.NewMapping(in.N())
+		for i := 0; i < in.N(); i++ {
+			// Roughly 1 in 5 tasks stays unassigned: CheckRule must skip
+			// holes rather than crash or count them as conflicts.
+			if p.next()%5 == 0 {
+				continue
+			}
+			mp.Assign(app.TaskID(i), platform.MachineID(p.intn(in.M())))
+		}
+		for _, rule := range []core.Rule{core.OneToOne, core.Specialized, core.GeneralRule} {
+			err := mp.CheckRule(in.App, rule)
+			if naive := naiveRuleViolation(in.App, mp, rule); (err == nil) == naive {
+				t.Fatalf("CheckRule(%v) = %v, oracle says violation=%v on %s", rule, err, naive, mp)
+			}
+		}
+
+		// Feasibility guards: count the types actually present.
+		typesPresent := 0
+		for _, c := range in.App.TypeCounts() {
+			if c > 0 {
+				typesPresent++
+			}
+		}
+		rng := gen.RNG(int64(p.next()))
+		for _, h := range heuristics.All() {
+			got, err := h.Fn(in, rng, heuristics.Options{})
+			if typesPresent > in.M() {
+				if err == nil {
+					t.Fatalf("%s succeeded with %d types on %d machines", h.Name, typesPresent, in.M())
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s failed on a feasible instance (%d types, %d machines): %v", h.Name, typesPresent, in.M(), err)
+			}
+			if !got.Complete() {
+				t.Fatalf("%s returned an incomplete mapping", h.Name)
+			}
+			if err := got.CheckRule(in.App, core.Specialized); err != nil {
+				t.Fatalf("%s broke the specialization rule: %v", h.Name, err)
+			}
+			period, err := core.PeriodE(in, got)
+			if err != nil || math.IsInf(period, 0) || math.IsNaN(period) || period <= 0 {
+				t.Fatalf("%s mapping prices to (%v, %v)", h.Name, period, err)
+			}
+		}
+	})
+}
+
+// FuzzSplitDelta decodes an instance plus a share-mutation script and
+// cross-checks the incremental SplitEvaluator against from-scratch
+// EvaluateSplit after every SetShares — the fuzz twin of
+// TestSplitEvaluatorDifferential.
+func FuzzSplitDelta(f *testing.F) {
+	f.Add([]byte("incremental-split-evaluator"))
+	f.Add([]byte{6, 4, 2, 0, 90, 110, 130, 150, 3, 1, 0, 2, 200, 100, 50, 25, 12, 6, 3, 1})
+	f.Add([]byte("\x0a\x05\x03\x01water-filling\x02\x04\x08\x10\x20\x40\x80"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		p := &byteProgram{data: data}
+		in, err := decodeInstance(p)
+		if err != nil {
+			t.Fatalf("decoder built an invalid instance: %v", err)
+		}
+		n, m := in.N(), in.M()
+		// decodeRow reads a share row off the tape: 1..3 machines with
+		// weights in 1..256, normalized. Weights are exact powers of the
+		// byte value so rows exercise wide magnitude ranges.
+		decodeRow := func() []float64 {
+			row := make([]float64, m)
+			k := 1 + p.intn(3)
+			if k > m {
+				k = m
+			}
+			total := 0.0
+			for j := 0; j < k; j++ {
+				u := p.intn(m)
+				w := 1 + float64(p.next())
+				row[u] += w
+				total += w
+			}
+			for u := range row {
+				row[u] /= total
+			}
+			return row
+		}
+		split := core.NewSplitMapping(n, m)
+		for i := 0; i < n; i++ {
+			row := decodeRow()
+			for u, v := range row {
+				split.SetShare(app.TaskID(i), platform.MachineID(u), v)
+			}
+		}
+		se, err := core.NewSplitEvaluator(in, split)
+		if err != nil {
+			// The decoded shares can legitimately be unproductive (all
+			// weight on always-failing machines); the constructor must say
+			// so, not crash.
+			return
+		}
+		checkSplitAgainstReference(t, in, se, "initial")
+		steps := 4 + p.intn(28)
+		for s := 0; s < steps; s++ {
+			i := app.TaskID(p.intn(n))
+			if err := se.SetShares(i, decodeRow()); err != nil {
+				continue // unproductive row rejected: engine must be unchanged
+			}
+			checkSplitAgainstReference(t, in, se, fmt.Sprintf("step %d (T%d)", s, int(i)+1))
+		}
+	})
+}
+
+// FuzzPeriodErrors drives the error-classification contract on decoded
+// instances: PeriodE must wrap ErrIncompleteMapping exactly for mappings
+// with holes and return genuine errors for out-of-range machines.
+func FuzzPeriodErrors(f *testing.F) {
+	f.Add([]byte("err-classes"))
+	f.Add([]byte{4, 3, 2, 1, 50, 60, 70, 80, 90, 0xff, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		p := &byteProgram{data: data}
+		in, err := decodeInstance(p)
+		if err != nil {
+			t.Fatalf("decoder built an invalid instance: %v", err)
+		}
+		mp := core.NewMapping(in.N())
+		holes := 0
+		for i := 0; i < in.N(); i++ {
+			if p.next()%4 == 0 {
+				holes++
+				continue
+			}
+			mp.Assign(app.TaskID(i), platform.MachineID(p.intn(in.M())))
+		}
+		_, err = core.PeriodE(in, mp)
+		switch {
+		case holes > 0:
+			if !errors.Is(err, core.ErrIncompleteMapping) {
+				t.Fatalf("%d holes, err = %v, want ErrIncompleteMapping", holes, err)
+			}
+		case err != nil:
+			t.Fatalf("complete in-range mapping failed: %v", err)
 		}
 	})
 }

@@ -95,7 +95,11 @@ func (s *SplitMapping) Validate(a *app.Application, rule Rule) error {
 func EvaluateSplit(in *Instance, s *SplitMapping) (*Evaluation, error) {
 	n, m := in.N(), in.M()
 	if len(s.share) != n || (n > 0 && len(s.share[0]) != m) {
-		return nil, fmt.Errorf("core: split mapping is %dx%d, instance is %dx%d", len(s.share), len(s.share[0]), n, m)
+		cols := 0
+		if len(s.share) > 0 {
+			cols = len(s.share[0])
+		}
+		return nil, fmt.Errorf("core: split mapping is %dx%d, instance is %dx%d", len(s.share), cols, n, m)
 	}
 	x := make([]float64, n)
 	for _, i := range in.App.ReverseTopological() {

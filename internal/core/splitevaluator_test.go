@@ -1,0 +1,232 @@
+// Differential tests for the incremental SplitEvaluator: every SetShares
+// mutation of a random sequence is cross-checked against a from-scratch
+// EvaluateSplit of the snapshot mapping, within 1e-12 relative.
+// FuzzSplitDelta (fuzz_test.go) reuses the same checker on fuzzer-decoded
+// instances and share scripts.
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/platform"
+)
+
+// randomSplit draws a complete fractional mapping: every task spreads its
+// unit share over 1..3 random machines with random positive weights.
+func randomSplit(in *core.Instance, rng *rand.Rand) *core.SplitMapping {
+	s := core.NewSplitMapping(in.N(), in.M())
+	for i := 0; i < in.N(); i++ {
+		setRandomRow(s, app.TaskID(i), in.M(), rng)
+	}
+	return s
+}
+
+func setRandomRow(s *core.SplitMapping, i app.TaskID, m int, rng *rand.Rand) {
+	for u := 0; u < m; u++ {
+		s.SetShare(i, platform.MachineID(u), 0)
+	}
+	k := 1 + rng.Intn(3)
+	if k > m {
+		k = m
+	}
+	perm := rng.Perm(m)[:k]
+	weights := make([]float64, k)
+	total := 0.0
+	for j := range weights {
+		weights[j] = 0.1 + rng.Float64()
+		total += weights[j]
+	}
+	for j, u := range perm {
+		s.SetShare(i, platform.MachineID(u), weights[j]/total)
+	}
+}
+
+// checkSplitAgainstReference compares every observable of the incremental
+// engine with a from-scratch EvaluateSplit of the snapshot.
+func checkSplitAgainstReference(t testing.TB, in *core.Instance, e *core.SplitEvaluator, step string) {
+	t.Helper()
+	ref, err := core.EvaluateSplit(in, e.Split())
+	if err != nil {
+		t.Fatalf("%s: snapshot does not evaluate: %v", step, err)
+	}
+	for i := 0; i < in.N(); i++ {
+		if !close12(e.X(app.TaskID(i)), ref.ProductCounts[i]) {
+			t.Fatalf("%s: x[%d] = %v, from-scratch %v", step, i, e.X(app.TaskID(i)), ref.ProductCounts[i])
+		}
+	}
+	for u := 0; u < in.M(); u++ {
+		mu := platform.MachineID(u)
+		if !close12(e.MachinePeriod(mu), ref.MachinePeriods[u]) {
+			t.Fatalf("%s: period(M%d) = %v, from-scratch %v", step, u+1, e.MachinePeriod(mu), ref.MachinePeriods[u])
+		}
+	}
+	p, crit := e.Best()
+	if !close12(p, ref.Period) {
+		t.Fatalf("%s: period %v, from-scratch %v", step, p, ref.Period)
+	}
+	if ref.Period > 0 {
+		// Ties at the last ulp may pick another machine; the chosen one must
+		// attain the maximum.
+		if crit == platform.NoMachine || !close12(ref.MachinePeriods[crit], ref.Period) {
+			t.Fatalf("%s: critical M%d has period %v, max is %v", step, int(crit)+1, ref.MachinePeriods[crit], ref.Period)
+		}
+	}
+}
+
+// TestSplitEvaluatorDifferential drives the engine through long random
+// SetShares sequences on chains and in-trees and cross-checks every step
+// against EvaluateSplit.
+func TestSplitEvaluatorDifferential(t *testing.T) {
+	const instances = 24
+	const steps = 120
+	for k := 0; k < instances; k++ {
+		k := k
+		t.Run(fmt.Sprintf("inst%02d", k), func(t *testing.T) {
+			t.Parallel()
+			pr := gen.Default(4+k%13, 2+k%3, 3+k%6)
+			if k%4 == 1 {
+				pr.FMin, pr.FMax = 0, 0.25 // stress the blended-survival term
+			}
+			rng := gen.RNG(int64(4000 + k))
+			var in *core.Instance
+			var err error
+			if k%2 == 0 {
+				in, err = gen.Chain(pr, rng)
+			} else {
+				in, err = gen.InTree(pr, 2+k%2, rng)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			split := randomSplit(in, rng)
+			e, err := core.NewSplitEvaluator(in, split)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSplitAgainstReference(t, in, e, "initial")
+			scratch := core.NewSplitMapping(in.N(), in.M())
+			for s := 0; s < steps; s++ {
+				i := app.TaskID(rng.Intn(in.N()))
+				setRandomRow(scratch, i, in.M(), rng)
+				row := make([]float64, in.M())
+				for u := 0; u < in.M(); u++ {
+					row[u] = scratch.Share(i, platform.MachineID(u))
+				}
+				if err := e.SetShares(i, row); err != nil {
+					t.Fatalf("step %d: SetShares(T%d): %v", s, int(i)+1, err)
+				}
+				checkSplitAgainstReference(t, in, e, fmt.Sprintf("step %d (T%d)", s, int(i)+1))
+			}
+		})
+	}
+}
+
+// TestSplitEvaluatorRowRoundTrip pins the trial/revert pattern the
+// refinement loops use: SetShares to a candidate and back must restore
+// every observable within 1e-12.
+func TestSplitEvaluatorRowRoundTrip(t *testing.T) {
+	in, err := gen.Chain(gen.Default(20, 4, 8), gen.RNG(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := gen.RNG(72)
+	e, err := core.NewSplitEvaluator(in, randomSplit(in, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Period()
+	scratch := core.NewSplitMapping(in.N(), in.M())
+	for trial := 0; trial < 50; trial++ {
+		i := app.TaskID(rng.Intn(in.N()))
+		old := e.Row(i)
+		setRandomRow(scratch, i, in.M(), rng)
+		row := make([]float64, in.M())
+		for u := 0; u < in.M(); u++ {
+			row[u] = scratch.Share(i, platform.MachineID(u))
+		}
+		if err := e.SetShares(i, row); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.SetShares(i, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := e.Period(); !close12(before, after) {
+		t.Fatalf("50 trial/revert round trips drifted the period: %v -> %v", before, after)
+	}
+	checkSplitAgainstReference(t, in, e, "after round trips")
+}
+
+// TestSplitEvaluatorEvaluationMatches compares the snapshot Evaluation
+// against EvaluateSplit field by field.
+func TestSplitEvaluatorEvaluationMatches(t *testing.T) {
+	in, err := gen.InTree(gen.Default(15, 3, 6), 3, gen.RNG(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewSplitEvaluator(in, randomSplit(in, gen.RNG(91)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Evaluation()
+	want, err := core.EvaluateSplit(in, e.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close12(got.Period, want.Period) || !close12(got.Throughput, want.Throughput) {
+		t.Fatalf("period %v/%v throughput %v/%v", got.Period, want.Period, got.Throughput, want.Throughput)
+	}
+}
+
+// TestSplitEvaluatorValidation checks the error paths: wrong dimensions,
+// bad rows, unproductive shares, out-of-range tasks — and that a rejected
+// SetShares leaves the engine untouched.
+func TestSplitEvaluatorValidation(t *testing.T) {
+	in, err := gen.Chain(gen.Default(6, 2, 3), gen.RNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewSplitEvaluator(in, core.NewSplitMapping(in.N()+1, in.M())); err == nil {
+		t.Fatal("wrong-size split accepted")
+	}
+	// Zero rows must come back as a dimension error, not a panic in the
+	// error formatting (regression: len(share[0]) on an empty matrix).
+	if _, err := core.NewSplitEvaluator(in, core.NewSplitMapping(0, in.M())); err == nil {
+		t.Fatal("zero-row split accepted")
+	}
+	if _, err := core.EvaluateSplit(in, core.NewSplitMapping(0, in.M())); err == nil {
+		t.Fatal("zero-row split accepted by EvaluateSplit")
+	}
+	if _, err := core.NewSplitEvaluator(in, core.NewSplitMapping(in.N(), in.M())); err == nil {
+		t.Fatal("all-zero shares accepted")
+	}
+	e, err := core.NewSplitEvaluator(in, randomSplit(in, gen.RNG(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Period()
+	bad := [][]float64{
+		{0.5, 0.4, 0},             // sums to 0.9
+		{1.5, -0.5, 0},            // negative share
+		{math.NaN(), 1, 0},        // NaN
+		make([]float64, in.M()+2), // wrong width
+	}
+	for k, row := range bad {
+		if err := e.SetShares(0, row); err == nil {
+			t.Fatalf("bad row %d accepted", k)
+		}
+	}
+	if err := e.SetShares(app.TaskID(99), e.Row(0)); err == nil {
+		t.Fatal("task out of range accepted")
+	}
+	if got := e.Period(); got != before {
+		t.Fatalf("rejected SetShares mutated the engine: %v -> %v", before, got)
+	}
+	checkSplitAgainstReference(t, in, e, "after rejected rows")
+}

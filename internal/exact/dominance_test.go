@@ -1,0 +1,172 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/failure"
+	"microfab/internal/gen"
+	"microfab/internal/platform"
+)
+
+// symmetricInstance builds a chain on a platform of m machines drawn from
+// only `distinct` different (w, f) column specs, so machines fall into
+// `distinct` symmetry classes.
+func symmetricInstance(t testing.TB, n, p, m, distinct int) *core.Instance {
+	t.Helper()
+	// The generator requires p <= machines, so draw the column specs from
+	// a wide-enough platform and keep only the first `distinct` columns.
+	specs := distinct
+	if specs < p {
+		specs = p
+	}
+	base, err := gen.Chain(gen.Default(n, p, specs), gen.RNG(int64(100*n+m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([][]float64, n)
+	f := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		id := app.TaskID(i)
+		w[i] = make([]float64, m)
+		f[i] = make([]float64, m)
+		for u := 0; u < m; u++ {
+			src := platform.MachineID(u % distinct)
+			w[i][u] = base.Platform.Time(id, src)
+			f[i][u] = base.Failures.Rate(id, src)
+		}
+	}
+	pl, err := platform.New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := failure.New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.NewInstance(base.App, pl, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestMachineClasses pins the partition: duplicated columns share a
+// class, heterogeneous random draws do not.
+func TestMachineClasses(t *testing.T) {
+	in := symmetricInstance(t, 6, 2, 8, 2)
+	classOf := machineClasses(in)
+	classes := 0
+	for _, c := range classOf {
+		if c+1 > classes {
+			classes = c + 1
+		}
+	}
+	if classes != 2 {
+		t.Fatalf("%d classes on a 2-spec platform, want 2", classes)
+	}
+	for u := 0; u < in.M(); u++ {
+		if classOf[u] != u%2 {
+			t.Fatalf("classOf = %v, want alternating 0/1", classOf)
+		}
+	}
+	het, err := gen.Chain(gen.Default(6, 2, 5), gen.RNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetClasses := machineClasses(het)
+	for u, c := range hetClasses {
+		if c != u {
+			t.Fatalf("classOf = %v on a heterogeneous platform, want singletons", hetClasses)
+		}
+	}
+}
+
+// TestDominancePrunesSymmetricPlatforms: on platforms with duplicated
+// machine specs the dominance rule must cut the node count while
+// preserving the proven optimum. The drop is the k!-ish collapse of
+// interchangeable empty machines, so it grows with the duplication
+// factor.
+func TestDominancePrunesSymmetricPlatforms(t *testing.T) {
+	cases := []struct {
+		name              string
+		n, p, m, distinct int
+		minDropFactor     float64 // nodesOff / nodesOn must exceed this
+	}{
+		{"duplicated-pairs", 8, 2, 6, 3, 1.5},
+		{"identical-machines", 8, 2, 6, 1, 4},
+		{"identical-machines-wide", 6, 2, 8, 1, 10},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			in := symmetricInstance(t, tc.n, tc.p, tc.m, tc.distinct)
+			on, err := Solve(in, Options{Rule: core.Specialized})
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := Solve(in, Options{Rule: core.Specialized, DisableDominance: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !on.Proven || !off.Proven {
+				t.Fatal("search budget interfered with the node-count comparison")
+			}
+			if math.Abs(on.Period-off.Period) > 1e-9*off.Period {
+				t.Fatalf("dominance changed the optimum: %v vs %v", on.Period, off.Period)
+			}
+			if ratio := float64(off.Nodes) / float64(on.Nodes); ratio < tc.minDropFactor {
+				t.Fatalf("nodes %d (on) vs %d (off): drop factor %.2f < %.2f",
+					on.Nodes, off.Nodes, ratio, tc.minDropFactor)
+			} else {
+				t.Logf("nodes %d -> %d (factor %.1f)", off.Nodes, on.Nodes, ratio)
+			}
+		})
+	}
+}
+
+// TestDominanceVacuousOnHeterogeneous: on fully heterogeneous platforms
+// every class is a singleton, so the rule must not change the node count
+// or the optimum at all.
+func TestDominanceVacuousOnHeterogeneous(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		in, err := gen.Chain(gen.Default(9, 3, 5), gen.RNG(700+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := Solve(in, Options{Rule: core.Specialized})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := Solve(in, Options{Rule: core.Specialized, DisableDominance: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if on.Nodes != off.Nodes || on.Period != off.Period {
+			t.Fatalf("seed %d: vacuous dominance changed the search: nodes %d/%d periods %v/%v",
+				seed, on.Nodes, off.Nodes, on.Period, off.Period)
+		}
+	}
+}
+
+// TestDominanceOneToOne: the rule also applies under the one-to-one rule
+// (empty machines are exactly the unused ones).
+func TestDominanceOneToOne(t *testing.T) {
+	in := symmetricInstance(t, 5, 2, 7, 1)
+	on, err := Solve(in, Options{Rule: core.OneToOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Solve(in, Options{Rule: core.OneToOne, DisableDominance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(on.Period-off.Period) > 1e-9*off.Period {
+		t.Fatalf("one-to-one optimum changed: %v vs %v", on.Period, off.Period)
+	}
+	if on.Nodes >= off.Nodes {
+		t.Fatalf("no pruning on identical machines: %d vs %d nodes", on.Nodes, off.Nodes)
+	}
+}

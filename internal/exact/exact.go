@@ -11,6 +11,16 @@
 // Assign/Unassign push/pop keeps the per-node cost at O(log m) instead of a
 // full O(n·m) re-evaluation. Worst-case cost is m^n; with pruning it
 // handles the paper's MIP-scale instances (n <= 15, m <= 9) comfortably.
+//
+// A dominance rule breaks machine symmetry: machines with identical
+// execution-time and failure columns (w[·][u] == w[·][v] and
+// f[·][u] == f[·][v]) are interchangeable while both are still empty, so
+// at every node the search branches on only the first currently-empty
+// machine of each symmetry class. On platforms with duplicated machine
+// specs this collapses the k! orderings of k identical empty machines to
+// one (see TestDominancePrunesSymmetricPlatforms for the node counts);
+// on fully heterogeneous platforms every class is a singleton and the
+// rule is vacuous.
 package exact
 
 import (
@@ -35,6 +45,10 @@ type Options struct {
 	TimeLimit time.Duration
 	// Incumbent optionally warm-starts the bound.
 	Incumbent *core.Mapping
+	// DisableDominance turns the machine-symmetry dominance rule off
+	// (identical w/f columns), for ablations and node-count tests. The
+	// optimum is unaffected either way.
+	DisableDominance bool
 }
 
 func (o Options) maxNodes() int64 {
@@ -62,6 +76,12 @@ type searcher struct {
 	spec []app.TypeID // Specialized bookkeeping (-1 free)
 	used []bool       // OneToOne bookkeeping
 	ev   *core.Evaluator
+
+	// Machine-symmetry dominance: classOf[u] indexes u's equal-column
+	// class; nOn counts tasks per machine on the current search path.
+	classOf []int
+	nOn     []int
+	noSym   bool
 
 	best       *core.Mapping
 	bestPeriod float64
@@ -96,6 +116,9 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 	for u := range s.spec {
 		s.spec[u] = noType
 	}
+	s.classOf = machineClasses(in)
+	s.nOn = make([]int, in.M())
+	s.noSym = opts.DisableDominance
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
 	}
@@ -148,8 +171,6 @@ func (s *searcher) dfs(k int) {
 	// Root-first order guarantees i's demand is priced, so it is hoisted
 	// out of the candidate loop.
 	demand, _ := s.ev.Demand(i)
-	// Symmetry note: free machines are NOT interchangeable (heterogeneous
-	// w and f), so all are tried.
 	for u := 0; u < s.m; u++ {
 		mu := platform.MachineID(u)
 		switch s.rule {
@@ -162,6 +183,24 @@ func (s *searcher) dfs(k int) {
 				continue
 			}
 		}
+		// Dominance: two still-empty machines with identical w/f columns
+		// are interchangeable, so branching on any but the first empty
+		// machine of a class can only revisit (a relabeling of) subtrees
+		// the first already covered. Emptiness is stable while this loop
+		// iterates — recursions restore nOn before returning — so the
+		// "an earlier same-class machine is also empty" test is exact.
+		if !s.noSym && s.nOn[u] == 0 {
+			dominated := false
+			for v := 0; v < u; v++ {
+				if s.nOn[v] == 0 && s.classOf[v] == s.classOf[u] {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+		}
 		xi := demand * s.in.Failures.Inflation(i, mu)
 		newLoad := s.ev.MachinePeriod(mu) + xi*s.in.Platform.Time(i, mu)
 		if newLoad >= s.bestPeriod {
@@ -171,15 +210,53 @@ func (s *searcher) dfs(k int) {
 		prevSpec, prevUsed := s.spec[u], s.used[u]
 		s.spec[u] = ty
 		s.used[u] = true
+		s.nOn[u]++
 		_ = s.ev.Assign(i, mu)
 
 		s.dfs(k + 1)
 
 		// Revert.
 		s.ev.Unassign(i)
+		s.nOn[u]--
 		s.spec[u], s.used[u] = prevSpec, prevUsed
 		if s.stopped {
 			return
 		}
 	}
+}
+
+// machineClasses partitions the machines into symmetry classes: u and v
+// share a class iff their execution-time and failure columns are
+// identical across every task.
+func machineClasses(in *core.Instance) []int {
+	m := in.M()
+	classOf := make([]int, m)
+	var reps []platform.MachineID
+	for u := 0; u < m; u++ {
+		mu := platform.MachineID(u)
+		assigned := false
+		for c, rep := range reps {
+			if machineColumnsEqual(in, mu, rep) {
+				classOf[u] = c
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			classOf[u] = len(reps)
+			reps = append(reps, mu)
+		}
+	}
+	return classOf
+}
+
+func machineColumnsEqual(in *core.Instance, u, v platform.MachineID) bool {
+	for i := 0; i < in.N(); i++ {
+		id := app.TaskID(i)
+		if in.Platform.Time(id, u) != in.Platform.Time(id, v) ||
+			in.Failures.Rate(id, u) != in.Failures.Rate(id, v) {
+			return false
+		}
+	}
+	return true
 }

@@ -8,7 +8,10 @@
 // Figure 9); Config.Draws scales this down for quick runs.
 //
 // Campaigns execute on a worker pool: every (point, draw) pair is an
-// independent work item fanned out across Config.Workers goroutines.
+// independent work item fanned out across Config.Workers goroutines. Each
+// worker owns a scratch state (one incremental core.Evaluator, rebuilt per
+// instance and reset per mapping), so finished mappings are priced through
+// the incremental engine instead of fresh from-scratch evaluations.
 // Determinism is preserved by construction — each item derives a private
 // RNG stream from (Config.Seed, figure, point, draw) via gen.DeriveRNG,
 // and the reduction walks items in sequential order — so Workers=1 and
@@ -18,6 +21,12 @@
 // different node under CPU contention can flip a draw between proven and
 // dropped. For byte-identical MIP campaigns set MIPMaxNodes low enough
 // (or MIPTimeLimit high enough) that the node budget binds first.
+//
+// With Config.Polish set, every heuristic mapping is refined by a bounded
+// local-search post-pass (internal/search) before pricing: the series then
+// chart the polished periods. Each (draw, series) pair derives its own
+// polish RNG stream, so polished campaigns keep the byte-identical
+// determinism contract for any worker count.
 package experiments
 
 import (
@@ -29,12 +38,15 @@ import (
 	"sync"
 	"time"
 
+	"microfab/internal/app"
 	"microfab/internal/core"
 	"microfab/internal/exact"
 	"microfab/internal/gen"
 	"microfab/internal/heuristics"
 	"microfab/internal/milp"
 	"microfab/internal/oto"
+	"microfab/internal/platform"
+	"microfab/internal/search"
 	"microfab/internal/stats"
 )
 
@@ -57,6 +69,15 @@ type Config struct {
 	// same series for the same Seed, except when a wall-clock solver
 	// budget binds on the MIP figures (see the package comment).
 	Workers int
+	// Polish selects a local-search post-pass applied to every heuristic
+	// mapping before pricing: "" = none, "ls" = first-improvement hill
+	// climbing, "anneal" = simulated annealing (see internal/search). The
+	// MIP figures feed the polished incumbent to the exact solvers as a
+	// stronger warm start.
+	Polish string
+	// PolishBudget bounds each post-pass — probes for "ls", proposals for
+	// "anneal" (0 = the search package's campaign default).
+	PolishBudget int
 	// Progress, when non-nil, is called after every completed draw with
 	// the number of draws finished so far and the campaign total. Calls
 	// are serialized across workers; keep the callback fast.
@@ -109,6 +130,21 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// polishMapping runs the configured post-pass on one heuristic mapping.
+// k indexes the series within its draw, so every (draw, series) pair owns
+// a private RNG stream and polished campaigns stay deterministic for any
+// worker count. The result is never worse than the input mapping.
+func (c Config) polishMapping(in *core.Instance, mp *core.Mapping, sub int64, k int) (*core.Mapping, error) {
+	if c.Polish == "" {
+		return mp, nil
+	}
+	res, err := search.Polish(in, mp, c.Polish, core.Specialized, gen.DeriveRNG(sub, streamPolish, int64(k)), c.PolishBudget)
+	if err != nil {
+		return nil, fmt.Errorf("polish %q: %w", c.Polish, err)
+	}
+	return res.Mapping, nil
+}
+
 // Point is one x-axis position of a figure.
 type Point struct {
 	X int
@@ -140,7 +176,51 @@ type Result struct {
 const (
 	streamInstance  int64 = 0
 	streamHeuristic int64 = 999
+	streamPolish    int64 = 1999
 )
+
+// worker is the per-goroutine scratch state of a campaign: one incremental
+// evaluator plus the instance's pricing order, rebuilt when the instance
+// changes and reset per mapping, so a draw prices its (often many)
+// finished mappings without re-allocating the evaluation state or
+// re-walking matrices from scratch.
+type worker struct {
+	in    *core.Instance
+	ev    *core.Evaluator
+	order []app.TaskID // cached ReverseTopological of w.in
+}
+
+// evaluatorFor returns the worker's evaluator bound to in, reset to the
+// all-unassigned state.
+func (w *worker) evaluatorFor(in *core.Instance) *core.Evaluator {
+	if w.in != in {
+		w.in = in
+		w.ev = core.NewEvaluator(in)
+		w.order = in.App.ReverseTopological()
+	} else {
+		w.ev.Reset()
+	}
+	return w.ev
+}
+
+// price evaluates a complete mapping through the worker's incremental
+// evaluator (the campaign replacement for fresh core.PeriodE calls).
+func (w *worker) price(in *core.Instance, mp *core.Mapping) (float64, error) {
+	if mp.Len() != in.N() {
+		return 0, fmt.Errorf("experiments: mapping covers %d tasks, instance has %d", mp.Len(), in.N())
+	}
+	ev := w.evaluatorFor(in)
+	for _, i := range w.order {
+		u := mp.Machine(i)
+		if u == platform.NoMachine {
+			return 0, fmt.Errorf("experiments: task T%d unassigned: %w", int(i)+1, core.ErrIncompleteMapping)
+		}
+		if err := ev.Assign(i, u); err != nil {
+			return 0, err
+		}
+	}
+	return ev.Period(), nil
+}
 
 // campaign describes one figure: its metadata, x-axis grid, and the
 // function computing every series value of a single draw.
@@ -156,9 +236,10 @@ type campaign struct {
 	countSolved bool
 	// run computes one draw at x-axis value x. sub seeds the draw's
 	// private random streams (derive children with gen.DeriveRNG /
-	// gen.SubSeed, never share an RNG across draws). ok=false drops the
-	// draw (exact budget exhausted), mirroring the paper's rule.
-	run func(ctx context.Context, x int, sub int64) (map[string]float64, bool, error)
+	// gen.SubSeed, never share an RNG across draws); w is the executing
+	// worker's scratch state. ok=false drops the draw (exact budget
+	// exhausted), mirroring the paper's rule.
+	run func(ctx context.Context, x int, sub int64, w *worker) (map[string]float64, bool, error)
 }
 
 // drawOut is the outcome of one (point, draw) work item.
@@ -168,9 +249,10 @@ type drawOut struct {
 }
 
 // runCampaign is the concurrent engine shared by every figure. It fans the
-// campaign's (point, draw) items out over cfg.Workers goroutines, cancels
-// the fleet on the first error or parent-context cancellation, and reduces
-// the per-draw outputs in deterministic sequential order.
+// campaign's (point, draw) items out over cfg.Workers goroutines (each
+// owning one scratch worker state), cancels the fleet on the first error
+// or parent-context cancellation, and reduces the per-draw outputs in
+// deterministic sequential order.
 func runCampaign(ctx context.Context, cfg Config, c campaign) (*Result, error) {
 	res := &Result{
 		ID: c.id, Title: c.title, XLabel: c.xlabel, YLabel: c.ylabel,
@@ -209,16 +291,17 @@ func runCampaign(ctx context.Context, cfg Config, c campaign) (*Result, error) {
 	if workers > total {
 		workers = total
 	}
-	for w := 0; w < workers; w++ {
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			w := &worker{}
 			for it := range jobs {
 				if ctx.Err() != nil {
 					continue // cancelled: drain remaining items
 				}
 				sub := gen.SubSeed(res.Seed, figKey, int64(it.x), int64(it.d))
-				vals, ok, err := c.run(ctx, it.x, sub)
+				vals, ok, err := c.run(ctx, it.x, sub, w)
 				if err != nil {
 					fail(fmt.Errorf("%s: x=%d draw=%d: %w", c.id, it.x, it.d, err))
 					continue
@@ -279,33 +362,36 @@ feed:
 	return res, nil
 }
 
-// runHeuristic names a heuristic and produces its period on an instance.
-func runHeuristic(name string, in *core.Instance, seed int64) (float64, error) {
+// runHeuristic names a heuristic and produces its mapping on an instance.
+func runHeuristic(name string, in *core.Instance, seed int64) (*core.Mapping, error) {
 	h, err := heuristics.Get(name)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	mp, err := h.Fn(in, gen.RNG(seed), heuristics.Options{})
-	if err != nil {
-		return 0, err
-	}
-	return core.PeriodE(in, mp)
+	return h.Fn(in, gen.RNG(seed), heuristics.Options{})
 }
 
 // sweepCampaign builds a heuristic-only campaign over x-axis values.
-func sweepCampaign(id, title, xlabel string, xs []int, names []string, paperDraws int,
+func sweepCampaign(cfg Config, id, title, xlabel string, xs []int, names []string, paperDraws int,
 	draw func(x int, rng *rand.Rand) (*core.Instance, error)) campaign {
 	return campaign{
 		id: id, title: title, xlabel: xlabel, ylabel: "period (ms)",
 		order: names, paperDraws: paperDraws, xs: xs,
-		run: func(_ context.Context, x int, sub int64) (map[string]float64, bool, error) {
+		run: func(_ context.Context, x int, sub int64, w *worker) (map[string]float64, bool, error) {
 			in, err := draw(x, gen.DeriveRNG(sub, streamInstance))
 			if err != nil {
 				return nil, false, err
 			}
 			vals := make(map[string]float64, len(names))
-			for _, name := range names {
-				p, err := runHeuristic(name, in, gen.SubSeed(sub, streamHeuristic))
+			for k, name := range names {
+				mp, err := runHeuristic(name, in, gen.SubSeed(sub, streamHeuristic))
+				if err != nil {
+					return nil, false, fmt.Errorf("%s: %w", name, err)
+				}
+				if mp, err = cfg.polishMapping(in, mp, sub, k); err != nil {
+					return nil, false, fmt.Errorf("%s: %w", name, err)
+				}
+				p, err := w.price(in, mp)
 				if err != nil {
 					return nil, false, fmt.Errorf("%s: %w", name, err)
 				}
@@ -327,8 +413,8 @@ func rangeInts(lo, hi, step int) []int {
 // fig5Campaign — specialized mappings, m=50 machines, p=5 types,
 // n=50..150 tasks; all six heuristics. Paper finding: H1 and H4f are far
 // behind the rest.
-func fig5Campaign() campaign {
-	return sweepCampaign("fig5", "Specialized mappings, m=50, p=5", "number of tasks",
+func fig5Campaign(cfg Config) campaign {
+	return sweepCampaign(cfg, "fig5", "Specialized mappings, m=50, p=5", "number of tasks",
 		rangeInts(50, 150, 10),
 		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, 30,
 		func(n int, rng *rand.Rand) (*core.Instance, error) {
@@ -338,8 +424,8 @@ func fig5Campaign() campaign {
 
 // fig6Campaign — specialized mappings, m=10, p=2, n=10..100; H2, H3, H4,
 // H4w. Paper finding: H4 sits slightly under the others (its f factor).
-func fig6Campaign() campaign {
-	return sweepCampaign("fig6", "Specialized mappings, m=10, p=2", "number of tasks",
+func fig6Campaign(cfg Config) campaign {
+	return sweepCampaign(cfg, "fig6", "Specialized mappings, m=10, p=2", "number of tasks",
 		rangeInts(10, 100, 10),
 		[]string{"H2", "H3", "H4", "H4w"}, 30,
 		func(n int, rng *rand.Rand) (*core.Instance, error) {
@@ -349,8 +435,8 @@ func fig6Campaign() campaign {
 
 // fig7Campaign — specialized mappings on a large platform, m=100, p=5,
 // n=100..200; H2, H3, H4w. Paper finding: H4w is the best.
-func fig7Campaign() campaign {
-	return sweepCampaign("fig7", "Specialized mappings, m=100, p=5", "number of tasks",
+func fig7Campaign(cfg Config) campaign {
+	return sweepCampaign(cfg, "fig7", "Specialized mappings, m=100, p=5", "number of tasks",
 		rangeInts(100, 200, 10),
 		[]string{"H2", "H3", "H4w"}, 30,
 		func(n int, rng *rand.Rand) (*core.Instance, error) {
@@ -361,8 +447,8 @@ func fig7Campaign() campaign {
 // fig8Campaign — high-failure campaign: m=10, p=5, f in [0, 0.1],
 // n=10..100, all heuristics. Paper finding: periods blow up with n and
 // only H2 resists.
-func fig8Campaign() campaign {
-	return sweepCampaign("fig8", "High failure rates (f <= 10%), m=10, p=5", "number of tasks",
+func fig8Campaign(cfg Config) campaign {
+	return sweepCampaign(cfg, "fig8", "High failure rates (f <= 10%), m=10, p=5", "number of tasks",
 		rangeInts(10, 100, 10),
 		[]string{"H1", "H2", "H3", "H4", "H4w", "H4f"}, 30,
 		func(n int, rng *rand.Rand) (*core.Instance, error) {
@@ -377,14 +463,14 @@ func fig8Campaign() campaign {
 // p = 20..100. Series: H2, H3, H4w and the optimal one-to-one mapping
 // (bottleneck assignment; "OtO"). Paper findings: H4w is closest to
 // optimal (factor ~1.28 on average) and all heuristics converge as p → m.
-func fig9Campaign() campaign {
+func fig9Campaign(cfg Config) campaign {
 	names := []string{"H2", "H3", "H4w"}
 	return campaign{
 		id: "fig9", title: "One-to-one regime, m=100, n=100, f[i][u]=f[i]",
 		xlabel: "number of types", ylabel: "period (ms)",
 		order:      append(append([]string{}, names...), "OtO"),
 		paperDraws: 100, xs: rangeInts(20, 100, 10),
-		run: func(_ context.Context, p int, sub int64) (map[string]float64, bool, error) {
+		run: func(_ context.Context, p int, sub int64, w *worker) (map[string]float64, bool, error) {
 			pr := gen.Default(100, p, 100)
 			pr.TaskOnlyFailures = true
 			in, err := gen.Chain(pr, gen.DeriveRNG(sub, streamInstance))
@@ -392,8 +478,15 @@ func fig9Campaign() campaign {
 				return nil, false, err
 			}
 			vals := make(map[string]float64, len(names)+1)
-			for _, name := range names {
-				v, err := runHeuristic(name, in, gen.SubSeed(sub, streamHeuristic))
+			for k, name := range names {
+				mp, err := runHeuristic(name, in, gen.SubSeed(sub, streamHeuristic))
+				if err != nil {
+					return nil, false, err
+				}
+				if mp, err = cfg.polishMapping(in, mp, sub, k); err != nil {
+					return nil, false, err
+				}
+				v, err := w.price(in, mp)
 				if err != nil {
 					return nil, false, err
 				}
@@ -403,7 +496,7 @@ func fig9Campaign() campaign {
 			if err != nil {
 				return nil, false, err
 			}
-			otoPeriod, err := core.PeriodE(in, mp)
+			otoPeriod, err := w.price(in, mp)
 			if err != nil {
 				return nil, false, err
 			}
@@ -414,11 +507,12 @@ func fig9Campaign() campaign {
 }
 
 // mipCampaign shares the Figure 10/11/12 logic: heuristics plus the exact
-// MIP (warm-started with the best heuristic mapping). When normalize is
-// true the series hold per-draw heuristic/MIP period ratios (Figure 11);
-// otherwise raw periods. Draws where the MIP fails to prove optimality
-// within its budget are dropped, mirroring the paper's "results reported
-// only if enough successful MIP runs" rule; Point.Solved counts successes.
+// MIP (warm-started with the best heuristic mapping — the best polished
+// one when Config.Polish is set). When normalize is true the series hold
+// per-draw heuristic/MIP period ratios (Figure 11); otherwise raw periods.
+// Draws where the MIP fails to prove optimality within its budget are
+// dropped, mirroring the paper's "results reported only if enough
+// successful MIP runs" rule; Point.Solved counts successes.
 func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []string, normalize bool) campaign {
 	ylabel := "period (ms)"
 	if normalize {
@@ -432,7 +526,7 @@ func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []strin
 		id: id, title: title, xlabel: "number of tasks", ylabel: ylabel,
 		order: order, paperDraws: 30, xs: xs,
 		normalized: normalize, countSolved: true,
-		run: func(_ context.Context, n int, sub int64) (map[string]float64, bool, error) {
+		run: func(_ context.Context, n int, sub int64, w *worker) (map[string]float64, bool, error) {
 			in, err := gen.Chain(gen.Default(n, p, m), gen.DeriveRNG(sub, streamInstance))
 			if err != nil {
 				return nil, false, err
@@ -440,7 +534,7 @@ func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []strin
 			periods := map[string]float64{}
 			var warm *core.Mapping
 			warmPeriod := math.Inf(1)
-			for _, name := range names {
+			for k, name := range names {
 				h, err := heuristics.Get(name)
 				if err != nil {
 					return nil, false, err
@@ -449,7 +543,10 @@ func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []strin
 				if err != nil {
 					return nil, false, err
 				}
-				v, err := core.PeriodE(in, mp)
+				if mp, err = cfg.polishMapping(in, mp, sub, k); err != nil {
+					return nil, false, err
+				}
+				v, err := w.price(in, mp)
 				if err != nil {
 					return nil, false, err
 				}
@@ -502,27 +599,27 @@ func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []strin
 
 // Fig5 reproduces Figure 5; see fig5Campaign.
 func Fig5(cfg Config) (*Result, error) {
-	return runCampaign(context.Background(), cfg, fig5Campaign())
+	return runCampaign(context.Background(), cfg, fig5Campaign(cfg))
 }
 
 // Fig6 reproduces Figure 6; see fig6Campaign.
 func Fig6(cfg Config) (*Result, error) {
-	return runCampaign(context.Background(), cfg, fig6Campaign())
+	return runCampaign(context.Background(), cfg, fig6Campaign(cfg))
 }
 
 // Fig7 reproduces Figure 7; see fig7Campaign.
 func Fig7(cfg Config) (*Result, error) {
-	return runCampaign(context.Background(), cfg, fig7Campaign())
+	return runCampaign(context.Background(), cfg, fig7Campaign(cfg))
 }
 
 // Fig8 reproduces Figure 8; see fig8Campaign.
 func Fig8(cfg Config) (*Result, error) {
-	return runCampaign(context.Background(), cfg, fig8Campaign())
+	return runCampaign(context.Background(), cfg, fig8Campaign(cfg))
 }
 
 // Fig9 reproduces Figure 9; see fig9Campaign.
 func Fig9(cfg Config) (*Result, error) {
-	return runCampaign(context.Background(), cfg, fig9Campaign())
+	return runCampaign(context.Background(), cfg, fig9Campaign(cfg))
 }
 
 // fig10Campaign — small instances, m=5 machines, p=2 types, n=2..15 tasks,
@@ -572,15 +669,15 @@ func Fig12(cfg Config) (*Result, error) {
 func figureCampaign(num int, cfg Config) (campaign, error) {
 	switch num {
 	case 5:
-		return fig5Campaign(), nil
+		return fig5Campaign(cfg), nil
 	case 6:
-		return fig6Campaign(), nil
+		return fig6Campaign(cfg), nil
 	case 7:
-		return fig7Campaign(), nil
+		return fig7Campaign(cfg), nil
 	case 8:
-		return fig8Campaign(), nil
+		return fig8Campaign(cfg), nil
 	case 9:
-		return fig9Campaign(), nil
+		return fig9Campaign(cfg), nil
 	case 10:
 		return fig10Campaign(cfg), nil
 	case 11:

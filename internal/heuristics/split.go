@@ -15,58 +15,100 @@ import (
 // contributing most to the critical machine has its workload re-poured
 // (water-filling) over every machine that may legally carry its type —
 // machines already dedicated to the type plus still-free machines. A
-// rebalance is kept only when the full re-evaluated period improves, so
+// rebalance is kept only when the re-evaluated period improves, so
 // H4wSplit is never worse than H4w.
+//
+// The refinement loop runs on a core.SplitEvaluator: each water-filling
+// probe reprices only the moved task and its in-tree prefix instead of
+// re-walking the full n×m share matrix through EvaluateSplit, and a
+// rejected probe is undone by restoring the task's previous share row.
+// The machine-specialization view the candidate set needs is maintained
+// incrementally too (a per-machine count of tasks per type), so one probe
+// costs O(prefix + m) instead of the former O(n·m).
 func H4wSplit(in *core.Instance, rng *rand.Rand, opts Options) (*core.SplitMapping, error) {
 	base, err := H4w(in, rng, opts)
 	if err != nil {
 		return nil, err
 	}
-	split := base.Split(in.M())
-	ev, err := core.EvaluateSplit(in, split)
+	r, err := newSplitRefiner(in, base)
 	if err != nil {
 		return nil, err
 	}
 	const maxRounds = 200
-	const tol = 1e-9
 	tried := make(map[app.TaskID]bool)
 	for round := 0; round < maxRounds; round++ {
-		crit := ev.Critical
+		crit := r.se.Critical()
 		if crit == platform.NoMachine {
 			break
 		}
-		task := heaviestTaskOn(in, split, ev, crit, tried)
+		task := r.heaviestTaskOn(crit, tried)
 		if task == app.NoTask {
 			break // nothing left to move on the critical machine
 		}
 		tried[task] = true
-		cand := rebalance(in, split, task)
-		evc, err := core.EvaluateSplit(in, cand)
-		if err != nil || evc.Period >= ev.Period-tol {
-			continue // keep the previous split; try another task
+		if r.refineTask(task) {
+			tried = make(map[app.TaskID]bool) // improvements reopen all tasks
 		}
-		split, ev = cand, evc
-		tried = make(map[app.TaskID]bool) // improvements reopen all tasks
 	}
-	return split, nil
+	return r.se.Split(), nil
+}
+
+// splitRefiner drives incremental water-filling refinement over a
+// SplitEvaluator, tracking which type every machine is currently
+// dedicated to (by positive shares) so candidate sets cost O(m).
+type splitRefiner struct {
+	in *core.Instance
+	se *core.SplitEvaluator
+	// typeOn[u][ty] counts tasks of type ty with a positive share on u; a
+	// machine is free when its total count is 0 and dedicated to ty when
+	// all its counted tasks have that type.
+	typeOn [][]int
+	onAny  []int // total tasks with positive share per machine
+}
+
+func newSplitRefiner(in *core.Instance, base *core.Mapping) (*splitRefiner, error) {
+	se, err := core.NewSplitEvaluator(in, base.Split(in.M()))
+	if err != nil {
+		return nil, err
+	}
+	r := &splitRefiner{
+		in:     in,
+		se:     se,
+		typeOn: make([][]int, in.M()),
+		onAny:  make([]int, in.M()),
+	}
+	for u := range r.typeOn {
+		r.typeOn[u] = make([]int, in.P())
+	}
+	for i := 0; i < in.N(); i++ {
+		r.countShares(app.TaskID(i), +1)
+	}
+	return r, nil
+}
+
+// countShares adds delta to the specialization counters for every machine
+// holding a positive share of task i.
+func (r *splitRefiner) countShares(i app.TaskID, delta int) {
+	ty := r.in.App.Type(i)
+	for u := 0; u < r.in.M(); u++ {
+		if r.se.Share(i, platform.MachineID(u)) > 0 {
+			r.typeOn[u][ty] += delta
+			r.onAny[u] += delta
+		}
+	}
 }
 
 // heaviestTaskOn returns the untried task with the largest load
 // contribution share·x·w on machine u, or NoTask.
-func heaviestTaskOn(in *core.Instance, s *core.SplitMapping, ev *core.Evaluation, u platform.MachineID, tried map[app.TaskID]bool) app.TaskID {
+func (r *splitRefiner) heaviestTaskOn(u platform.MachineID, tried map[app.TaskID]bool) app.TaskID {
 	best := app.NoTask
 	bestLoad := 0.0
-	for i := 0; i < in.N(); i++ {
+	for i := 0; i < r.in.N(); i++ {
 		id := app.TaskID(i)
 		if tried[id] {
 			continue
 		}
-		sh := s.Share(id, u)
-		if sh <= 0 {
-			continue
-		}
-		l := sh * ev.ProductCounts[i] * in.Platform.Time(id, u)
-		if l > bestLoad {
+		if l := r.se.Contribution(id, u); l > bestLoad {
 			bestLoad = l
 			best = id
 		}
@@ -74,73 +116,65 @@ func heaviestTaskOn(in *core.Instance, s *core.SplitMapping, ev *core.Evaluation
 	return best
 }
 
-// rebalance returns a copy of the split where task i's workload is
-// water-filled across all machines legally able to carry its type, given
-// the loads of every other task.
-func rebalance(in *core.Instance, s *core.SplitMapping, i app.TaskID) *core.SplitMapping {
-	n, m := in.N(), in.M()
-	out := core.NewSplitMapping(n, m)
-	for j := 0; j < n; j++ {
-		for u := 0; u < m; u++ {
-			out.SetShare(app.TaskID(j), platform.MachineID(u), s.Share(app.TaskID(j), platform.MachineID(u)))
-		}
-	}
-	ev, err := core.EvaluateSplit(in, s)
-	if err != nil {
-		return out
-	}
-	ty := in.App.Type(i)
+// refineTask water-fills task i's workload over every machine legally able
+// to carry its type and keeps the move only when the period strictly
+// improves. Reports whether the move was kept.
+func (r *splitRefiner) refineTask(i app.TaskID) bool {
+	const tol = 1e-9
+	ty := r.in.App.Type(i)
+	m := r.in.M()
 
-	// Current machine specializations from positive shares (task i's own
-	// shares excluded so its machines can be reconsidered).
-	spec := make([]app.TypeID, m)
-	for u := range spec {
-		spec[u] = -1
-	}
-	for j := 0; j < n; j++ {
-		if app.TaskID(j) == i {
-			continue
-		}
-		tj := in.App.Type(app.TaskID(j))
-		for u := 0; u < m; u++ {
-			if s.Share(app.TaskID(j), platform.MachineID(u)) > 0 {
-				spec[u] = tj
-			}
-		}
-	}
-	// Loads without task i.
+	// Candidate machines: free ones, or ones whose positive shares
+	// (excluding task i itself) are all of i's type.
+	var cands []platform.MachineID
 	load := make([]float64, m)
 	for u := 0; u < m; u++ {
-		load[u] = ev.MachinePeriods[u] - s.Share(i, platform.MachineID(u))*ev.ProductCounts[i]*in.Platform.Time(i, platform.MachineID(u))
+		mu := platform.MachineID(u)
+		others := r.onAny[u]
+		typed := r.typeOn[u][ty]
+		if sh := r.se.Share(i, mu); sh > 0 {
+			others--
+			typed--
+		}
+		if others > 0 && typed < others {
+			continue // carries another type beyond task i
+		}
+		cands = append(cands, mu)
+		// Load without task i's own contribution (clamped like the old
+		// full-recompute path: float residue must not go negative).
+		load[u] = r.se.MachinePeriod(mu) - r.se.Contribution(i, mu)
 		if load[u] < 0 {
 			load[u] = 0
 		}
 	}
-	var cands []platform.MachineID
-	for u := 0; u < m; u++ {
-		if spec[u] == -1 || spec[u] == ty {
-			cands = append(cands, platform.MachineID(u))
-		}
-	}
 	if len(cands) == 0 {
-		return out
+		return false
 	}
-	// Demand downstream of task i (x of its successor under the current
-	// split, 1 at the root).
-	demand := 1.0
-	if succ := in.App.Successor(i); succ != app.NoTask {
-		demand = ev.ProductCounts[succ]
-	}
-	shares, _ := waterfillLoads(in, i, demand, cands, load)
-	for u := 0; u < m; u++ {
-		out.SetShare(i, platform.MachineID(u), 0)
-	}
+	shares, _ := waterfillLoads(r.in, i, r.se.Demand(i), cands, load)
+
+	row := make([]float64, m)
 	for k, sh := range shares {
 		if sh > 0 {
-			out.SetShare(i, cands[k], sh)
+			row[cands[k]] = sh
 		}
 	}
-	return out
+	prev := r.se.Period()
+	old := r.se.Row(i)
+	r.countShares(i, -1)
+	if err := r.se.SetShares(i, row); err != nil {
+		r.countShares(i, +1)
+		return false
+	}
+	if r.se.Period() >= prev-tol {
+		// Not an improvement: restore the previous row exactly.
+		if err := r.se.SetShares(i, old); err != nil {
+			panic("heuristics: restoring a split share row failed: " + err.Error())
+		}
+		r.countShares(i, +1)
+		return false
+	}
+	r.countShares(i, +1)
+	return true
 }
 
 // waterfillLoads distributes task i's demand over candidate machines with

@@ -10,10 +10,11 @@ import (
 	"microfab/internal/platform"
 )
 
-// TestSplitRebalanceStep drives one rebalance by hand on the high-failure
-// example instance and asserts the invariants of the water-filling move:
-// the moved task's shares stay a probability distribution, every other
-// task's shares are untouched, and the candidate still evaluates.
+// TestSplitRebalanceStep drives one incremental water-filling move by hand
+// on the high-failure example instance and asserts the invariants of the
+// refiner: the moved task's shares stay a probability distribution, every
+// other task's shares are untouched, the specialization counters survive
+// the move, and the engine still agrees with a from-scratch EvaluateSplit.
 func TestSplitRebalanceStep(t *testing.T) {
 	pr := gen.Default(40, 5, 10)
 	pr.FMin, pr.FMax = 0, 0.10
@@ -25,26 +26,31 @@ func TestSplitRebalanceStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	split := mw.Split(in.M())
-	ev, err := core.EvaluateSplit(in, split)
+	r, err := newSplitRefiner(in, mw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ev.Critical == platform.NoMachine {
+	crit := r.se.Critical()
+	if crit == platform.NoMachine {
 		t.Fatal("base split has no critical machine")
 	}
-	task := heaviestTaskOn(in, split, ev, ev.Critical, map[app.TaskID]bool{})
+	task := r.heaviestTaskOn(crit, map[app.TaskID]bool{})
 	if task == app.NoTask {
 		t.Fatal("no task found on the critical machine")
 	}
+	before := r.se.Split()
+	r.refineTask(task)
+	cand := r.se.Split()
 
-	cand := rebalance(in, split, task)
 	evc, err := core.EvaluateSplit(in, cand)
 	if err != nil {
 		t.Fatalf("rebalanced split does not evaluate: %v", err)
 	}
 	if evc.Period <= 0 || math.IsInf(evc.Period, 0) || math.IsNaN(evc.Period) {
 		t.Fatalf("rebalanced period = %v, want finite > 0", evc.Period)
+	}
+	if rel := math.Abs(r.se.Period()-evc.Period) / evc.Period; rel > 1e-12 {
+		t.Fatalf("incremental period %v vs from-scratch %v (rel %v)", r.se.Period(), evc.Period, rel)
 	}
 
 	// Share conservation for the moved task: a distribution over machines.
@@ -74,9 +80,30 @@ func TestSplitRebalanceStep(t *testing.T) {
 		}
 		for u := 0; u < in.M(); u++ {
 			mu := platform.MachineID(u)
-			if cand.Share(jd, mu) != split.Share(jd, mu) {
+			if cand.Share(jd, mu) != before.Share(jd, mu) {
 				t.Fatalf("rebalance of T%d modified share(T%d, M%d): %v -> %v",
-					int(task)+1, j+1, u+1, split.Share(jd, mu), cand.Share(jd, mu))
+					int(task)+1, j+1, u+1, before.Share(jd, mu), cand.Share(jd, mu))
+			}
+		}
+	}
+
+	// The specialization counters must match a recount from the shares.
+	for u := 0; u < in.M(); u++ {
+		mu := platform.MachineID(u)
+		total := 0
+		byType := make([]int, in.P())
+		for j := 0; j < in.N(); j++ {
+			if cand.Share(app.TaskID(j), mu) > 0 {
+				total++
+				byType[in.App.Type(app.TaskID(j))]++
+			}
+		}
+		if total != r.onAny[u] {
+			t.Fatalf("onAny[M%d] = %d, recount %d", u+1, r.onAny[u], total)
+		}
+		for ty := range byType {
+			if byType[ty] != r.typeOn[u][ty] {
+				t.Fatalf("typeOn[M%d][%d] = %d, recount %d", u+1, ty, r.typeOn[u][ty], byType[ty])
 			}
 		}
 	}
@@ -113,4 +140,141 @@ func TestSplitRefinementNeverWorse(t *testing.T) {
 			t.Fatalf("seed %d: refined split period %v worse than base %v", seed, got.Period, base.Period)
 		}
 	}
+}
+
+// TestSplitRefinerMatchesFullRecompute cross-checks the incremental
+// H4wSplit against a from-scratch reference that replays the same
+// accept/reject policy through EvaluateSplit: starting from the same
+// integral seed, both must land on periods within 1e-9 relative of each
+// other (degenerate float ties could in principle diverge the
+// trajectories, so the bar is on the outcome, which is what the contract
+// promises).
+func TestSplitRefinerMatchesFullRecompute(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		pr := gen.Default(25, 4, 10)
+		pr.FMin, pr.FMax = 0, 0.08
+		in, err := gen.Chain(pr, gen.RNG(2100+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := H4wSplit(in, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.EvaluateSplit(in, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fullRecomputeH4wSplit(t, in)
+		if rel := math.Abs(got.Period-want) / want; rel > 1e-9 {
+			t.Fatalf("seed %d: incremental refinement period %v, full-recompute reference %v (rel %v)",
+				seed, got.Period, want, rel)
+		}
+	}
+}
+
+// fullRecomputeH4wSplit is the pre-SplitEvaluator refinement loop kept as
+// a test-only reference: every probe pays a full EvaluateSplit.
+func fullRecomputeH4wSplit(t *testing.T, in *core.Instance) float64 {
+	t.Helper()
+	mw, err := H4w(in, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := mw.Split(in.M())
+	ev, err := core.EvaluateSplit(in, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxRounds = 200
+	const tol = 1e-9
+	tried := make(map[app.TaskID]bool)
+	for round := 0; round < maxRounds; round++ {
+		crit := ev.Critical
+		if crit == platform.NoMachine {
+			break
+		}
+		// Heaviest untried task on the critical machine.
+		task := app.NoTask
+		bestLoad := 0.0
+		for i := 0; i < in.N(); i++ {
+			id := app.TaskID(i)
+			if tried[id] {
+				continue
+			}
+			sh := split.Share(id, crit)
+			if sh <= 0 {
+				continue
+			}
+			if l := sh * ev.ProductCounts[i] * in.Platform.Time(id, crit); l > bestLoad {
+				bestLoad = l
+				task = id
+			}
+		}
+		if task == app.NoTask {
+			break
+		}
+		tried[task] = true
+
+		// Candidates: machines free or dedicated to the task's type once
+		// the task's own shares are set aside.
+		ty := in.App.Type(task)
+		admissible := make([]bool, in.M())
+		for u := range admissible {
+			admissible[u] = true
+		}
+		for j := 0; j < in.N(); j++ {
+			jd := app.TaskID(j)
+			if jd == task || in.App.Type(jd) == ty {
+				continue
+			}
+			for u := 0; u < in.M(); u++ {
+				if split.Share(jd, platform.MachineID(u)) > 0 {
+					admissible[u] = false
+				}
+			}
+		}
+		var cands []platform.MachineID
+		load := make([]float64, in.M())
+		for u := 0; u < in.M(); u++ {
+			if !admissible[u] {
+				continue
+			}
+			mu := platform.MachineID(u)
+			cands = append(cands, mu)
+			load[u] = ev.MachinePeriods[u] - split.Share(task, mu)*ev.ProductCounts[task]*in.Platform.Time(task, mu)
+			if load[u] < 0 {
+				load[u] = 0
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		demand := 1.0
+		if succ := in.App.Successor(task); succ != app.NoTask {
+			demand = ev.ProductCounts[succ]
+		}
+		shares, _ := waterfillLoads(in, task, demand, cands, load)
+		cand := core.NewSplitMapping(in.N(), in.M())
+		for j := 0; j < in.N(); j++ {
+			for u := 0; u < in.M(); u++ {
+				cand.SetShare(app.TaskID(j), platform.MachineID(u), split.Share(app.TaskID(j), platform.MachineID(u)))
+			}
+		}
+		for u := 0; u < in.M(); u++ {
+			cand.SetShare(task, platform.MachineID(u), 0)
+		}
+		for k, sh := range shares {
+			if sh > 0 {
+				cand.SetShare(task, cands[k], sh)
+			}
+		}
+		evc, err := core.EvaluateSplit(in, cand)
+		if err != nil || evc.Period >= ev.Period-tol {
+			continue
+		}
+		split, ev = cand, evc
+		tried = make(map[app.TaskID]bool)
+	}
+	return ev.Period
 }

@@ -1,0 +1,625 @@
+// Package search is the local-search layer over the incremental
+// evaluation engine: it refines complete mappings produced by the
+// constructive heuristics (or any solver) by exploring a neighborhood of
+// cheap moves, each priced through core.Evaluator in O(changed subtree)
+// instead of a full O(n·m) re-evaluation.
+//
+// Move set (all rule-aware):
+//
+//   - relocate — move one task to another admissible machine;
+//   - swap — exchange the machines of two tasks;
+//   - group — move every task of one machine onto another (merging the
+//     type groups the constructive heuristics formed).
+//
+// Strategies:
+//
+//   - HillClimb — steepest or first-improvement descent; deterministic,
+//     never worsens the seed;
+//   - Anneal — simulated annealing over random moves with a geometric
+//     cooling schedule; the result is the best mapping ever visited, so it
+//     too never worsens the seed. Given the same seed mapping and RNG
+//     stream the run is fully deterministic, which is what lets the
+//     experiment campaigns polish every draw concurrently and still
+//     reduce to byte-identical figures (see internal/experiments).
+//
+// The facade exposes the strategies as Solve("ls") / Solve("anneal") and
+// as a post-pass on any method (microfab.Polish); campaigns enable them
+// per draw with Config.Polish.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// Moves selects which neighborhood moves a strategy explores.
+type Moves uint8
+
+const (
+	// Relocate moves one task to another admissible machine.
+	Relocate Moves = 1 << iota
+	// Swap exchanges the machines of two tasks.
+	Swap
+	// Group moves all tasks of one machine onto another.
+	Group
+
+	// AllMoves enables the full neighborhood.
+	AllMoves = Relocate | Swap | Group
+)
+
+// Options tunes a search run. The zero value means: specialized rule
+// (core's zero Rule is OneToOne, so Options fills Specialized via
+// DefaultRule unless a caller sets Rule explicitly — see the Rule field),
+// full move set, steepest descent, and the default budgets.
+type Options struct {
+	// Rule is the mapping rule the moves must respect. The seed mapping
+	// must satisfy it. Callers almost always want core.Specialized (the
+	// paper's realistic rule); use DefaultOptions to get it filled in,
+	// since core's zero Rule is OneToOne.
+	Rule core.Rule
+
+	// Moves is the neighborhood (0 = AllMoves).
+	Moves Moves
+
+	// FirstImprovement makes HillClimb take the first strictly improving
+	// move of each scan instead of the steepest.
+	FirstImprovement bool
+
+	// MaxProbes bounds the number of candidate moves priced, across the
+	// whole run (0 = 100·n·m). Probes are the unit of work: each one is an
+	// incremental apply + period read (+ revert when rejected).
+	MaxProbes int
+
+	// Iters is the number of annealing proposals (0 = 60·n). Ignored by
+	// HillClimb.
+	Iters int
+
+	// T0 is the initial annealing temperature in ms of period
+	// (0 = 5% of the seed period).
+	T0 float64
+
+	// Cooling is the per-proposal geometric cooling factor in (0,1)
+	// (0 = set so the temperature decays to T0/1000 over Iters).
+	Cooling float64
+}
+
+// DefaultOptions returns the options every facade entry point starts
+// from: specialized rule, full move set, steepest descent.
+func DefaultOptions() Options {
+	return Options{Rule: core.Specialized, Moves: AllMoves}
+}
+
+func (o Options) moves() Moves {
+	if o.Moves == 0 {
+		return AllMoves
+	}
+	return o.Moves
+}
+
+func (o Options) maxProbes(n, m int) int {
+	if o.MaxProbes > 0 {
+		return o.MaxProbes
+	}
+	return 100 * n * m
+}
+
+func (o Options) iters(n int) int {
+	if o.Iters > 0 {
+		return o.Iters
+	}
+	return 60 * n
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	// Mapping is the best mapping found (never worse than the seed).
+	Mapping *core.Mapping
+	// Period is Mapping's period.
+	Period float64
+	// Start is the seed mapping's period.
+	Start float64
+	// Probes counts the candidate moves priced.
+	Probes int
+	// Accepted counts the moves actually kept (hill-climb improvements,
+	// or annealing acceptances).
+	Accepted int
+}
+
+// Improved reports whether the search strictly improved on the seed.
+func (r *Result) Improved() bool { return r.Period < r.Start }
+
+// improveEps is the strict-improvement tolerance: a move must beat the
+// incumbent by more than a relative 1e-9 to be accepted, so float noise
+// in the incremental sums cannot drive endless neutral-move cycles.
+func improveEps(p float64) float64 { return 1e-9 * math.Max(1, p) }
+
+const noType app.TypeID = -1
+
+// engine tracks one in-progress neighborhood exploration: the incremental
+// evaluator plus the rule bookkeeping (machine specializations and
+// occupancy) that admissibility checks need in O(1).
+type engine struct {
+	in   *core.Instance
+	ev   *core.Evaluator
+	rule core.Rule
+
+	spec []app.TypeID // machine's current type (noType when empty); Specialized bookkeeping
+	nOn  []int        // tasks per machine
+
+	probes    int
+	maxProbes int
+
+	group []app.TaskID // scratch for group moves
+}
+
+// newEngine validates the seed (complete, rule-respecting) and loads it.
+func newEngine(in *core.Instance, seed *core.Mapping, opt Options) (*engine, error) {
+	if in == nil || seed == nil {
+		return nil, fmt.Errorf("search: nil instance or seed mapping")
+	}
+	if !seed.Complete() {
+		return nil, fmt.Errorf("search: seed mapping is incomplete")
+	}
+	if err := seed.CheckRule(in.App, opt.Rule); err != nil {
+		return nil, fmt.Errorf("search: seed violates the %v rule: %w", opt.Rule, err)
+	}
+	ev, err := core.NewEvaluatorFrom(in, seed)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	e := &engine{
+		in:        in,
+		ev:        ev,
+		rule:      opt.Rule,
+		spec:      make([]app.TypeID, in.M()),
+		nOn:       make([]int, in.M()),
+		maxProbes: opt.maxProbes(in.N(), in.M()),
+	}
+	for u := range e.spec {
+		e.spec[u] = noType
+	}
+	for i := 0; i < in.N(); i++ {
+		id := app.TaskID(i)
+		u := seed.Machine(id)
+		e.nOn[u]++
+		e.spec[u] = in.App.Type(id)
+	}
+	return e, nil
+}
+
+func (e *engine) budgetLeft() bool { return e.probes < e.maxProbes }
+
+// admissible reports whether relocating task i onto machine v respects
+// the rule (v must differ from i's machine).
+func (e *engine) admissible(i app.TaskID, v platform.MachineID) bool {
+	if v == e.ev.Machine(i) {
+		return false
+	}
+	switch e.rule {
+	case core.OneToOne:
+		return e.nOn[v] == 0
+	case core.Specialized:
+		return e.nOn[v] == 0 || e.spec[v] == e.in.App.Type(i)
+	default:
+		return true
+	}
+}
+
+// swapAdmissible reports whether exchanging the machines of i and j
+// respects the rule. Under Specialized, different-type tasks can only
+// swap when each is alone on its machine (otherwise the vacated machine
+// would mix types).
+func (e *engine) swapAdmissible(i, j app.TaskID) bool {
+	u, v := e.ev.Machine(i), e.ev.Machine(j)
+	if i == j || u == v {
+		return false
+	}
+	switch e.rule {
+	case core.OneToOne:
+		return true // machines hold exactly one task each
+	case core.Specialized:
+		if e.in.App.Type(i) == e.in.App.Type(j) {
+			return true
+		}
+		return e.nOn[u] == 1 && e.nOn[v] == 1
+	default:
+		return true
+	}
+}
+
+// groupAdmissible reports whether moving every task of machine u onto
+// machine v respects the rule.
+func (e *engine) groupAdmissible(u, v platform.MachineID) bool {
+	if u == v || e.nOn[u] == 0 {
+		return false
+	}
+	switch e.rule {
+	case core.OneToOne:
+		return e.nOn[u] == 1 && e.nOn[v] == 0
+	case core.Specialized:
+		return e.nOn[v] == 0 || e.spec[v] == e.spec[u]
+	default:
+		return true
+	}
+}
+
+// relocate applies the move i -> v, maintaining the rule bookkeeping. It
+// is its own inverse (relocate back to the previous machine).
+func (e *engine) relocate(i app.TaskID, v platform.MachineID) {
+	u := e.ev.Machine(i)
+	_ = e.ev.Assign(i, v) // i and v are always in range here
+	e.nOn[u]--
+	if e.nOn[u] == 0 {
+		e.spec[u] = noType
+	}
+	e.nOn[v]++
+	e.spec[v] = e.in.App.Type(i)
+}
+
+// swap exchanges the machines of i and j.
+func (e *engine) swap(i, j app.TaskID) {
+	u, v := e.ev.Machine(i), e.ev.Machine(j)
+	e.relocate(i, v)
+	e.relocate(j, u)
+}
+
+// tasksOn collects machine u's tasks into the scratch slice.
+func (e *engine) tasksOn(u platform.MachineID) []app.TaskID {
+	e.group = e.group[:0]
+	for i := 0; i < e.in.N(); i++ {
+		if e.ev.Machine(app.TaskID(i)) == u {
+			e.group = append(e.group, app.TaskID(i))
+		}
+	}
+	return e.group
+}
+
+// moveGroup relocates every task of u onto v and returns the moved tasks
+// (scratch; copy before the next engine call if kept).
+func (e *engine) moveGroup(u, v platform.MachineID) []app.TaskID {
+	tasks := e.tasksOn(u)
+	for _, i := range tasks {
+		e.relocate(i, v)
+	}
+	return tasks
+}
+
+// probeRelocate prices the move i -> v: apply, read, and keep it only when
+// it improves cur by more than the tolerance. Returns the new period and
+// whether the move was kept (reverted otherwise).
+func (e *engine) probeRelocate(i app.TaskID, v platform.MachineID, cur float64) (float64, bool) {
+	u := e.ev.Machine(i)
+	e.probes++
+	e.relocate(i, v)
+	if p := e.ev.Period(); p < cur-improveEps(cur) {
+		return p, true
+	}
+	e.relocate(i, u)
+	return cur, false
+}
+
+func (e *engine) probeSwap(i, j app.TaskID, cur float64) (float64, bool) {
+	e.probes++
+	e.swap(i, j)
+	if p := e.ev.Period(); p < cur-improveEps(cur) {
+		return p, true
+	}
+	e.swap(i, j)
+	return cur, false
+}
+
+func (e *engine) probeGroup(u, v platform.MachineID, cur float64) (float64, bool) {
+	e.probes++
+	moved := e.moveGroup(u, v)
+	if p := e.ev.Period(); p < cur-improveEps(cur) {
+		return p, true
+	}
+	for _, i := range moved {
+		e.relocate(i, u)
+	}
+	return cur, false
+}
+
+// HillClimb refines the seed mapping by local descent over the move set:
+// repeatedly scan the neighborhood in a fixed deterministic order and
+// apply improving moves until none is left or the probe budget runs out.
+// With FirstImprovement each scan applies every improving move as it is
+// found (cheap, good for polish passes); otherwise each round finds the
+// steepest single move and applies it.
+//
+// The result is never worse than the seed: only strictly improving moves
+// are kept.
+func HillClimb(in *core.Instance, seed *core.Mapping, opt Options) (*Result, error) {
+	e, err := newEngine(in, seed, opt)
+	if err != nil {
+		return nil, err
+	}
+	cur := e.ev.Period()
+	res := &Result{Start: cur}
+	moves := opt.moves()
+	improved := true
+	for improved && e.budgetLeft() {
+		improved = false
+		if opt.FirstImprovement {
+			cur, improved = e.descendFirst(cur, moves, res)
+		} else {
+			cur, improved = e.descendSteepest(cur, moves, res)
+		}
+	}
+	res.Mapping = e.ev.Mapping()
+	res.Period = cur
+	res.Probes = e.probes
+	return res, nil
+}
+
+// descendFirst performs one first-improvement sweep: every improving move
+// found is applied immediately. Returns the new period and whether any
+// move was applied.
+func (e *engine) descendFirst(cur float64, moves Moves, res *Result) (float64, bool) {
+	improved := false
+	n, m := e.in.N(), e.in.M()
+	if moves&Relocate != 0 {
+		for i := 0; i < n && e.budgetLeft(); i++ {
+			id := app.TaskID(i)
+			for v := 0; v < m && e.budgetLeft(); v++ {
+				mv := platform.MachineID(v)
+				if !e.admissible(id, mv) {
+					continue
+				}
+				if p, ok := e.probeRelocate(id, mv, cur); ok {
+					cur, improved = p, true
+					res.Accepted++
+				}
+			}
+		}
+	}
+	if moves&Swap != 0 {
+		for i := 0; i < n && e.budgetLeft(); i++ {
+			for j := i + 1; j < n && e.budgetLeft(); j++ {
+				if !e.swapAdmissible(app.TaskID(i), app.TaskID(j)) {
+					continue
+				}
+				if p, ok := e.probeSwap(app.TaskID(i), app.TaskID(j), cur); ok {
+					cur, improved = p, true
+					res.Accepted++
+				}
+			}
+		}
+	}
+	if moves&Group != 0 {
+		for u := 0; u < m && e.budgetLeft(); u++ {
+			for v := 0; v < m && e.budgetLeft(); v++ {
+				if !e.groupAdmissible(platform.MachineID(u), platform.MachineID(v)) {
+					continue
+				}
+				if p, ok := e.probeGroup(platform.MachineID(u), platform.MachineID(v), cur); ok {
+					cur, improved = p, true
+					res.Accepted++
+				}
+			}
+		}
+	}
+	return cur, improved
+}
+
+// steepestMove describes the best move of one steepest-descent scan.
+type steepestMove struct {
+	kind int // 0 none, 1 relocate, 2 swap, 3 group
+	i, j app.TaskID
+	u, v platform.MachineID
+}
+
+// descendSteepest scans the whole neighborhood, remembers the single move
+// with the lowest resulting period, and applies it. Returns the new
+// period and whether a move was applied.
+func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64, bool) {
+	best := steepestMove{}
+	bestP := cur
+	n, m := e.in.N(), e.in.M()
+	consider := func(p float64, mv steepestMove) {
+		if p < bestP-improveEps(bestP) {
+			bestP = p
+			best = mv
+		}
+	}
+	if moves&Relocate != 0 {
+		for i := 0; i < n && e.budgetLeft(); i++ {
+			id := app.TaskID(i)
+			u := e.ev.Machine(id)
+			for v := 0; v < m && e.budgetLeft(); v++ {
+				mv := platform.MachineID(v)
+				if !e.admissible(id, mv) {
+					continue
+				}
+				e.probes++
+				e.relocate(id, mv)
+				consider(e.ev.Period(), steepestMove{kind: 1, i: id, v: mv})
+				e.relocate(id, u)
+			}
+		}
+	}
+	if moves&Swap != 0 {
+		for i := 0; i < n && e.budgetLeft(); i++ {
+			for j := i + 1; j < n && e.budgetLeft(); j++ {
+				a, b := app.TaskID(i), app.TaskID(j)
+				if !e.swapAdmissible(a, b) {
+					continue
+				}
+				e.probes++
+				e.swap(a, b)
+				consider(e.ev.Period(), steepestMove{kind: 2, i: a, j: b})
+				e.swap(a, b)
+			}
+		}
+	}
+	if moves&Group != 0 {
+		for u := 0; u < m && e.budgetLeft(); u++ {
+			for v := 0; v < m && e.budgetLeft(); v++ {
+				mu, mv := platform.MachineID(u), platform.MachineID(v)
+				if !e.groupAdmissible(mu, mv) {
+					continue
+				}
+				e.probes++
+				moved := e.moveGroup(mu, mv)
+				consider(e.ev.Period(), steepestMove{kind: 3, u: mu, v: mv})
+				for _, i := range moved {
+					e.relocate(i, mu)
+				}
+			}
+		}
+	}
+	switch best.kind {
+	case 0:
+		return cur, false
+	case 1:
+		e.relocate(best.i, best.v)
+	case 2:
+		e.swap(best.i, best.j)
+	case 3:
+		e.moveGroup(best.u, best.v)
+	}
+	res.Accepted++
+	return e.ev.Period(), true
+}
+
+// Anneal refines the seed by simulated annealing: random neighborhood
+// moves are accepted when they improve the period, or with probability
+// exp(-Δ/T) when they worsen it, T following a geometric cooling schedule.
+// The returned mapping is the best one ever visited, so Anneal never
+// worsens the seed. Runs are deterministic for a given seed mapping and
+// RNG stream; campaign callers derive the stream per draw with
+// gen.DeriveRNG so concurrent polishing stays reproducible.
+func Anneal(in *core.Instance, seed *core.Mapping, rng *rand.Rand, opt Options) (*Result, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("search: Anneal needs an RNG (use gen.RNG or gen.DeriveRNG)")
+	}
+	e, err := newEngine(in, seed, opt)
+	if err != nil {
+		return nil, err
+	}
+	cur := e.ev.Period()
+	res := &Result{Start: cur}
+	bestP := cur
+	bestMap := e.ev.Mapping()
+
+	iters := opt.iters(in.N())
+	temp := opt.T0
+	if temp <= 0 {
+		temp = 0.05 * cur
+	}
+	cool := opt.Cooling
+	if cool <= 0 || cool >= 1 {
+		// Decay to T0/1000 over the run: cool^iters = 1e-3.
+		cool = math.Exp(math.Log(1e-3) / float64(iters))
+	}
+
+	n, m := in.N(), in.M()
+	moves := opt.moves()
+	// Proposal kinds, relocate weighted double (it is the workhorse move).
+	var kinds []Moves
+	if moves&Relocate != 0 {
+		kinds = append(kinds, Relocate, Relocate)
+	}
+	if moves&Swap != 0 {
+		kinds = append(kinds, Swap)
+	}
+	if moves&Group != 0 {
+		kinds = append(kinds, Group)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("search: no known move kind in Moves mask %#x", opt.Moves)
+	}
+	for it := 0; it < iters && e.budgetLeft(); it++ {
+		p, applied, undo := e.proposeRandom(rng, kinds[rng.Intn(len(kinds))], n, m)
+		if !applied {
+			temp *= cool
+			continue
+		}
+		e.probes++
+		delta := p - cur
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur = p
+			res.Accepted++
+			if cur < bestP-improveEps(bestP) {
+				bestP = cur
+				bestMap = e.ev.Mapping()
+			}
+		} else {
+			undo()
+		}
+		temp *= cool
+	}
+	res.Mapping = bestMap
+	res.Period = bestP
+	res.Probes = e.probes
+	return res, nil
+}
+
+// proposeRandom draws one random move of the given kind, applies it when
+// admissible, and returns the resulting period plus an undo closure.
+// applied is false when the draw was inadmissible (counts as a cooled
+// iteration).
+func (e *engine) proposeRandom(rng *rand.Rand, kind Moves, n, m int) (p float64, applied bool, undo func()) {
+	switch kind {
+	case Swap:
+		i, j := app.TaskID(rng.Intn(n)), app.TaskID(rng.Intn(n))
+		if !e.swapAdmissible(i, j) {
+			return 0, false, nil
+		}
+		e.swap(i, j)
+		return e.ev.Period(), true, func() { e.swap(i, j) }
+	case Group:
+		u, v := platform.MachineID(rng.Intn(m)), platform.MachineID(rng.Intn(m))
+		if !e.groupAdmissible(u, v) {
+			return 0, false, nil
+		}
+		moved := append([]app.TaskID(nil), e.moveGroup(u, v)...)
+		return e.ev.Period(), true, func() {
+			for _, i := range moved {
+				e.relocate(i, u)
+			}
+		}
+	default: // relocate
+		i := app.TaskID(rng.Intn(n))
+		v := platform.MachineID(rng.Intn(m))
+		if !e.admissible(i, v) {
+			return 0, false, nil
+		}
+		u := e.ev.Machine(i)
+		e.relocate(i, v)
+		return e.ev.Period(), true, func() { e.relocate(i, u) }
+	}
+}
+
+// Polish is the bounded post-pass entry point shared by the facade and
+// the experiment campaigns: it refines mp with the named strategy ("ls" —
+// first-improvement hill climbing, "anneal" — simulated annealing) under
+// the given rule and a campaign-sized budget, and returns the refined
+// mapping with its period. budget bounds probes ("ls") or proposals
+// ("anneal"); 0 means 2000. The result is never worse than mp.
+func Polish(in *core.Instance, mp *core.Mapping, strategy string, rule core.Rule, rng *rand.Rand, budget int) (*Result, error) {
+	if budget <= 0 {
+		budget = 2000
+	}
+	opt := DefaultOptions()
+	opt.Rule = rule
+	switch strategy {
+	case "ls":
+		opt.FirstImprovement = true
+		opt.MaxProbes = budget
+		return HillClimb(in, mp, opt)
+	case "anneal":
+		opt.Iters = budget
+		// The probe cap must not undercut the requested proposal count on
+		// small instances (default MaxProbes is 100·n·m).
+		opt.MaxProbes = budget
+		return Anneal(in, mp, rng, opt)
+	default:
+		return nil, fmt.Errorf("search: unknown polish strategy %q (have \"ls\", \"anneal\")", strategy)
+	}
+}

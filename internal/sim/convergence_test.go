@@ -15,13 +15,15 @@ import (
 // 1/period computed by package core.
 //
 // The measurement runs batches sized for exactly xout expected outputs
-// (margin 1.0) to full drain and takes Outputs/Time. A windowed
-// measurement over a padded batch (MeasureThroughput's scheme) is NOT
-// suitable here: on in-trees the branch machines chew through the padding
-// margin eagerly, front-loading work that never becomes an output inside
-// the window and biasing the windowed rate well above 1/period. On a
-// drained run the fill and drain transients are O(depth), so their
-// relative weight vanishes as xout grows and the ratio must converge.
+// (margin 1.0) to full drain and takes Outputs/Time. The historical
+// windowed measurement over a padded batch was NOT suitable here: on
+// in-trees the branch machines chewed through the padding margin eagerly,
+// front-loading work that never became an output inside the window and
+// biasing the windowed rate well above 1/period — MeasureThroughput now
+// uses a busy-time estimator instead, enforced on the same instances by
+// TestMeasureThroughputConvergesOnInTrees below. On a drained run the
+// fill and drain transients are O(depth), so their relative weight
+// vanishes as xout grows and the ratio must converge.
 func TestSimConvergesToAnalyticPeriod(t *testing.T) {
 	cases := []struct {
 		name string
@@ -94,6 +96,80 @@ func TestSimConvergesToAnalyticPeriod(t *testing.T) {
 					rel := math.Abs(mean*ev.Period - 1)
 					if rel > rung.tol {
 						t.Fatalf("empirical throughput %v vs analytic %v: rel err %.4f > %.3f",
+							mean, 1/ev.Period, rel, rung.tol)
+					}
+					t.Logf("rel err %.4f (tol %.3f)", rel, rung.tol)
+				})
+			}
+		})
+	}
+}
+
+// TestMeasureThroughputConvergesOnInTrees closes the ROADMAP item on the
+// windowed-measurement bias: MeasureThroughput's busy-time estimator must
+// converge to 1/period on the exact instance family where the windowed
+// scheme was biased (branch-heavy in-trees), and on chains. The bands are
+// tighter than the drained Outputs/Time ladder at equal batch sizes
+// because busy time carries no fill/drain transient at all.
+func TestMeasureThroughputConvergesOnInTrees(t *testing.T) {
+	cases := []struct {
+		name string
+		in   func() (*core.Instance, error)
+	}{
+		{"chain-standard", func() (*core.Instance, error) {
+			return gen.Chain(gen.Default(10, 3, 5), gen.RNG(41))
+		}},
+		{"intree-join", func() (*core.Instance, error) {
+			return gen.InTree(gen.Default(9, 3, 5), 2, gen.RNG(43))
+		}},
+		{"intree-wide", func() (*core.Instance, error) {
+			return gen.InTree(gen.Default(13, 3, 6), 4, gen.RNG(44))
+		}},
+	}
+	ladder := []struct {
+		outputs int64
+		tol     float64
+	}{
+		{500, 0.04},
+		{2000, 0.02},
+		{8000, 0.01},
+		{32000, 0.006},
+	}
+	const seeds = 3
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			in, err := tc.in()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := heuristics.H4w(in, nil, heuristics.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := core.Evaluate(in, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rung := range ladder {
+				rung := rung
+				t.Run(fmt.Sprintf("outputs=%d", rung.outputs), func(t *testing.T) {
+					if testing.Short() && rung.outputs > 8000 {
+						t.Skip("largest rung skipped in -short")
+					}
+					mean := 0.0
+					for seed := int64(0); seed < seeds; seed++ {
+						thr, err := MeasureThroughput(in, mp, rung.outputs, 0.2, 200+seed)
+						if err != nil {
+							t.Fatal(err)
+						}
+						mean += thr
+					}
+					mean /= seeds
+					rel := math.Abs(mean*ev.Period - 1)
+					if rel > rung.tol {
+						t.Fatalf("measured throughput %v vs analytic %v: rel err %.4f > %.3f",
 							mean, 1/ev.Period, rel, rung.tol)
 					}
 					t.Logf("rel err %.4f (tol %.3f)", rel, rung.tol)

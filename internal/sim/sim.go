@@ -335,9 +335,29 @@ func PlanBatches(in *core.Instance, mp *core.Mapping, xout float64, margin float
 	return out, nil
 }
 
-// MeasureThroughput runs a long batch and returns the empirical steady
-// throughput (products per ms), skipping the first warmupFrac of outputs.
-// It is the simulation counterpart of 1/core.Period.
+// MeasureThroughput estimates the steady-state empirical throughput
+// (products per ms) of the mapped instance by simulation. It is the
+// simulation counterpart of 1/core.Period.
+//
+// The estimator is busy-time based: one batch sized for `outputs`
+// expected finished products (margin 1.0) is run to full drain, and the
+// empirical bottleneck period is max_u BusyTime[u]/Outputs — the service
+// time machine u performed per finished product, retries after losses
+// included, exactly what the analytic period(Mu) = Σ x[i]·w[i][u]
+// charges. The estimate is 1 over that maximum.
+//
+// This replaces the earlier windowed Outputs/ΔTime scheme, which was
+// biased upward on in-trees: with padded batches the branch machines
+// front-load work into the join buffers, so the outputs inside the window
+// were paced by the downstream stages rather than the true bottleneck,
+// and work attributable to the windowed outputs had partly been performed
+// before the window opened (see internal/sim/convergence_test.go). Busy
+// time charges that work to whichever products it served no matter when
+// it was performed, and the fill/drain transients it ignores are idle
+// time, so the estimator is transient-free on chains and in-trees alike.
+//
+// warmupFrac is retained for signature compatibility and only validated:
+// the busy-time estimator has no startup window to discard.
 func MeasureThroughput(in *core.Instance, mp *core.Mapping, outputs int64, warmupFrac float64, seed int64) (float64, error) {
 	if outputs <= 0 {
 		return 0, fmt.Errorf("sim: outputs must be positive")
@@ -345,32 +365,32 @@ func MeasureThroughput(in *core.Instance, mp *core.Mapping, outputs int64, warmu
 	if warmupFrac < 0 || warmupFrac >= 1 {
 		return 0, fmt.Errorf("sim: warmupFrac must be in [0,1)")
 	}
-	warm := int64(float64(outputs) * warmupFrac)
-	batches, err := PlanBatches(in, mp, float64(outputs), 1.5)
+	batches, err := PlanBatches(in, mp, float64(outputs), 1.0)
 	if err != nil {
 		return 0, err
 	}
-	// First pass: time at which `warm` outputs are reached.
-	tWarm := 0.0
-	if warm > 0 {
-		st, err := Run(in, mp, Options{Inputs: batches, TargetOutputs: warm, Seed: seed})
-		if err != nil {
-			return 0, err
-		}
-		if st.Outputs < warm {
-			return 0, fmt.Errorf("sim: warmup starved (%d of %d outputs)", st.Outputs, warm)
-		}
-		tWarm = st.Time
-	}
-	st, err := Run(in, mp, Options{Inputs: batches, TargetOutputs: outputs, Seed: seed})
+	st, err := Run(in, mp, Options{Inputs: batches, Seed: seed})
 	if err != nil {
 		return 0, err
 	}
-	if st.Outputs < outputs {
-		return 0, fmt.Errorf("sim: batch too small (%d of %d outputs); raise the margin", st.Outputs, outputs)
+	if !st.Drained {
+		return 0, fmt.Errorf("sim: measurement run did not drain (event budget hit)")
 	}
-	if st.Time <= tWarm {
-		return 0, fmt.Errorf("sim: degenerate measurement window")
+	if st.Outputs == 0 {
+		total := int64(0)
+		for _, b := range batches {
+			total += b
+		}
+		return 0, fmt.Errorf("sim: no finished products (all %d raw inputs lost); raise outputs", total)
 	}
-	return float64(outputs-warm) / (st.Time - tWarm), nil
+	worst := 0.0
+	for u := range st.BusyTime {
+		if per := st.BusyTime[u] / float64(st.Outputs); per > worst {
+			worst = per
+		}
+	}
+	if worst <= 0 {
+		return 0, fmt.Errorf("sim: degenerate measurement (no busy time)")
+	}
+	return 1 / worst, nil
 }

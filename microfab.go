@@ -8,9 +8,11 @@
 // The package is a facade over the internal packages; it exposes the model
 // (applications, platforms, failure matrices, mappings), the paper's six
 // heuristics (H1, H2, H3, H4, H4w, H4f), the exact solvers (MIP branch and
-// bound, DFS search, polynomial one-to-one algorithms), the discrete-event
-// simulator and the experiment drivers that regenerate every figure of the
-// paper's evaluation.
+// bound, DFS search, polynomial one-to-one algorithms), the local-search
+// refinement layer (hill climbing and simulated annealing over the
+// incremental evaluator — Solve("ls"), Solve("anneal"), Polish), the
+// discrete-event simulator and the experiment drivers that regenerate
+// every figure of the paper's evaluation.
 //
 // Quick start:
 //
@@ -24,6 +26,7 @@ package microfab
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"microfab/internal/app"
@@ -36,6 +39,7 @@ import (
 	"microfab/internal/milp"
 	"microfab/internal/oto"
 	"microfab/internal/platform"
+	"microfab/internal/search"
 	"microfab/internal/sim"
 )
 
@@ -68,6 +72,9 @@ type (
 	// Evaluator is the stateful incremental evaluation engine
 	// (Assign/Unassign/Best) used by the search loops.
 	Evaluator = core.Evaluator
+	// SplitEvaluator is the incremental engine for fractional mappings
+	// (SetShares/Best), the EvaluateSplit counterpart of Evaluator.
+	SplitEvaluator = core.SplitEvaluator
 	// Rule selects the mapping constraint.
 	Rule = core.Rule
 	// GenParams configures random instance generation.
@@ -126,59 +133,144 @@ func GenerateInTree(pr GenParams, branches int, seed int64) (*Instance, error) {
 // the H2r ablation).
 func Heuristics() []string { return heuristics.Names() }
 
+// solverFunc is a registered facade solver.
+type solverFunc func(in *Instance, seed int64) (*Mapping, error)
+
+// solverRegistry holds the non-heuristic solvers by method name; Solve
+// falls back to the heuristics registry for anything else. Keeping the
+// two registries separate lets heuristics self-register (H2r does) while
+// the facade owns the solver wiring.
+var solverRegistry = map[string]solverFunc{
+	"MIP":        solveMIP,
+	"mip":        solveMIP,
+	"exact":      solveExact,
+	"oto":        solveOTO,
+	"oto-greedy": func(in *Instance, _ int64) (*Mapping, error) { return oto.Greedy(in) },
+	"ls":         solveLS,
+	"anneal":     solveAnneal,
+}
+
+// Solvers lists every method Solve accepts: the registered solvers plus
+// the heuristics, in a stable order.
+func Solvers() []string {
+	seen := map[string]bool{"mip": true} // fold the MIP alias
+	var out []string
+	for name := range solverRegistry {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	out = append(out, heuristics.Names()...)
+	sort.Strings(out)
+	return out
+}
+
+func solveMIP(in *Instance, _ int64) (*Mapping, error) {
+	warm, err := heuristics.H4w(in, nil, heuristics.Options{})
+	if err != nil {
+		warm = nil
+	}
+	res, err := milp.Solve(in, milp.Options{
+		Rule:      core.Specialized,
+		WarmStart: warm,
+		TimeLimit: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Mapping == nil {
+		return nil, fmt.Errorf("microfab: MIP budget exhausted with no solution")
+	}
+	return res.Mapping, nil
+}
+
+func solveExact(in *Instance, _ int64) (*Mapping, error) {
+	res, err := exact.Solve(in, exact.Options{
+		Rule:      core.Specialized,
+		TimeLimit: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Mapping == nil {
+		return nil, fmt.Errorf("microfab: exact search budget exhausted with no solution")
+	}
+	return res.Mapping, nil
+}
+
+func solveOTO(in *Instance, _ int64) (*Mapping, error) {
+	if mp, err := oto.OptimalTaskOnly(in); err == nil {
+		return mp, nil
+	}
+	return oto.OptimalChainHomogeneous(in)
+}
+
+// solveLS is the hill-climbing solver: an H4w seed refined by steepest
+// descent over the relocate/swap/group neighborhood (internal/search).
+// Fully deterministic; the seed argument is unused.
+func solveLS(in *Instance, _ int64) (*Mapping, error) {
+	base, err := heuristics.H4w(in, nil, heuristics.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := search.HillClimb(in, base, search.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return res.Mapping, nil
+}
+
+// solveAnneal is the simulated-annealing solver: an H4w seed refined by
+// annealing driven by the given seed's RNG stream. Deterministic for a
+// fixed seed; the result is never worse than the H4w start.
+func solveAnneal(in *Instance, seed int64) (*Mapping, error) {
+	base, err := heuristics.H4w(in, nil, heuristics.Options{})
+	if err != nil {
+		return nil, err
+	}
+	opt := search.DefaultOptions()
+	opt.Iters = 200 * in.N()
+	res, err := search.Anneal(in, base, gen.RNG(seed), opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Mapping, nil
+}
+
 // Solve runs the named method on the instance and returns its mapping.
 //
 // Methods: the heuristics "H1".."H4f" and "H2r" (specialized rule); "MIP"
 // — the exact mixed-integer program, warm-started with H4w, 30 s budget;
 // "exact" — the DFS branch and bound, 30 s budget; "oto" — the optimal
 // one-to-one mapping (requires task-only failures or a homogeneous
-// platform chain); "oto-greedy" — the polynomial one-to-one fallback.
-// The seed only matters for "H1".
+// platform chain); "oto-greedy" — the polynomial one-to-one fallback;
+// "ls" — hill climbing from an H4w seed; "anneal" — simulated annealing
+// from an H4w seed. The seed matters for "H1" and "anneal".
 func Solve(in *Instance, method string, seed int64) (*Mapping, error) {
-	switch method {
-	case "MIP", "mip":
-		warm, err := heuristics.H4w(in, nil, heuristics.Options{})
-		if err != nil {
-			warm = nil
-		}
-		res, err := milp.Solve(in, milp.Options{
-			Rule:      core.Specialized,
-			WarmStart: warm,
-			TimeLimit: 30 * time.Second,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if res.Mapping == nil {
-			return nil, fmt.Errorf("microfab: MIP budget exhausted with no solution")
-		}
-		return res.Mapping, nil
-	case "exact":
-		res, err := exact.Solve(in, exact.Options{
-			Rule:      core.Specialized,
-			TimeLimit: 30 * time.Second,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if res.Mapping == nil {
-			return nil, fmt.Errorf("microfab: exact search budget exhausted with no solution")
-		}
-		return res.Mapping, nil
-	case "oto":
-		if mp, err := oto.OptimalTaskOnly(in); err == nil {
-			return mp, nil
-		}
-		return oto.OptimalChainHomogeneous(in)
-	case "oto-greedy":
-		return oto.Greedy(in)
-	default:
-		h, err := heuristics.Get(method)
-		if err != nil {
-			return nil, err
-		}
-		return h.Fn(in, gen.RNG(seed), heuristics.Options{})
+	if f, ok := solverRegistry[method]; ok {
+		return f(in, seed)
 	}
+	h, err := heuristics.Get(method)
+	if err != nil {
+		return nil, fmt.Errorf("microfab: unknown method %q (have %v)", method, Solvers())
+	}
+	return h.Fn(in, gen.RNG(seed), heuristics.Options{})
+}
+
+// Polish refines a complete rule-respecting mapping with a bounded
+// local-search post-pass: strategy "ls" (first-improvement hill climbing,
+// deterministic) or "anneal" (simulated annealing seeded by seed). budget
+// bounds the work (moves priced for "ls", proposals for "anneal"; 0 =
+// default). The result is never worse than the input. rule must be the
+// rule the mapping satisfies (the paper's solvers produce Specialized
+// mappings; "oto" mappings satisfy OneToOne and Specialized both).
+func Polish(in *Instance, m *Mapping, strategy string, rule Rule, seed int64, budget int) (*Mapping, error) {
+	res, err := search.Polish(in, m, strategy, rule, gen.RNG(seed), budget)
+	if err != nil {
+		return nil, err
+	}
+	return res.Mapping, nil
 }
 
 // SolveSplit runs the divisible-task extension (H4w refined by workload
@@ -209,6 +301,14 @@ func NewEvaluatorFrom(in *Instance, m *Mapping) (*Evaluator, error) {
 // EvaluateSplit evaluates a fractional mapping.
 func EvaluateSplit(in *Instance, s *SplitMapping) (*Evaluation, error) {
 	return core.EvaluateSplit(in, s)
+}
+
+// NewSplitEvaluator returns an incremental evaluation engine loaded with
+// the complete fractional mapping: SetShares reprices a share change in
+// O(changed prefix) instead of EvaluateSplit's full O(n·m) sweep. The
+// water-filling refinement of H4wSplit runs on it.
+func NewSplitEvaluator(in *Instance, s *SplitMapping) (*SplitEvaluator, error) {
+	return core.NewSplitEvaluator(in, s)
 }
 
 // PlanInputs returns the expected raw products each source must receive so

@@ -1,0 +1,197 @@
+// Facade-level coverage of the solver registry and the local-search
+// layer: method resolution, error paths, determinism of the search
+// solvers, and the polish-never-worsens contract across the repro
+// instance battery.
+package microfab_test
+
+import (
+	"strings"
+	"testing"
+
+	microfab "microfab"
+)
+
+// solverInstances is the facade-level battery: chains and in-trees across
+// regimes, the instances every contract below runs over.
+func solverInstances(t testing.TB) []*microfab.Instance {
+	t.Helper()
+	var out []*microfab.Instance
+	add := func(in *microfab.Instance, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, in)
+	}
+	add(microfab.GenerateChain(microfab.CampaignParams(10, 3, 5), 1))
+	add(microfab.GenerateChain(microfab.CampaignParams(25, 5, 10), 2))
+	add(microfab.GenerateInTree(microfab.CampaignParams(18, 4, 8), 3, 3))
+	hf := microfab.CampaignParams(20, 4, 8)
+	hf.FMin, hf.FMax = 0, 0.10
+	add(microfab.GenerateChain(hf, 4))
+	return out
+}
+
+// TestSolversListsEverything: the registry enumeration contains the
+// solvers and the heuristics, and every listed method actually solves.
+func TestSolversListsEverything(t *testing.T) {
+	names := microfab.Solvers()
+	for _, want := range []string{"MIP", "exact", "oto-greedy", "ls", "anneal", "H1", "H2r", "H4w"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("Solvers() = %v, missing %q", names, want)
+		}
+	}
+	// n <= m so the one-to-one solvers are feasible too.
+	in, err := microfab.GenerateChain(microfab.CampaignParams(4, 2, 6), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if name == "oto" {
+			continue // needs task-only failures or a homogeneous chain
+		}
+		mp, err := microfab.Solve(in, name, 1)
+		if err != nil {
+			t.Fatalf("Solve(%q): %v", name, err)
+		}
+		if mp == nil || !mp.Complete() {
+			t.Fatalf("Solve(%q) returned an incomplete mapping", name)
+		}
+	}
+}
+
+// TestSolveUnknownMethod: the error names the offender and lists what is
+// available.
+func TestSolveUnknownMethod(t *testing.T) {
+	in, err := microfab.GenerateChain(microfab.CampaignParams(5, 2, 3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = microfab.Solve(in, "H9", 1)
+	if err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if !strings.Contains(err.Error(), "H9") || !strings.Contains(err.Error(), "ls") {
+		t.Fatalf("error %q neither names the method nor lists the registry", err)
+	}
+}
+
+// TestSearchSolversDeterministic: Solve("ls") ignores the seed entirely;
+// Solve("anneal", seed) reproduces itself for equal seeds.
+func TestSearchSolversDeterministic(t *testing.T) {
+	for k, in := range solverInstances(t) {
+		a, err := microfab.Solve(in, "ls", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := microfab.Solve(in, "ls", 999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("inst%d: ls depends on the seed: %s vs %s", k, a, b)
+		}
+		s1, err := microfab.Solve(in, "anneal", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := microfab.Solve(in, "anneal", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("inst%d: anneal not deterministic for a fixed seed", k)
+		}
+	}
+}
+
+// TestSearchSolversRefineH4w: both search solvers return specialized
+// mappings at least as good as their H4w seed on every instance.
+func TestSearchSolversRefineH4w(t *testing.T) {
+	for k, in := range solverInstances(t) {
+		base, err := microfab.Solve(in, "H4w", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseEv, err := microfab.Evaluate(in, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, method := range []string{"ls", "anneal"} {
+			mp, err := microfab.Solve(in, method, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mp.CheckRule(in.App, microfab.Specialized); err != nil {
+				t.Fatalf("inst%d: %s broke the rule: %v", k, method, err)
+			}
+			ev, err := microfab.Evaluate(in, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Period > baseEv.Period*(1+1e-12) {
+				t.Fatalf("inst%d: %s period %v worse than H4w %v", k, method, ev.Period, baseEv.Period)
+			}
+		}
+	}
+}
+
+// TestPolishNeverWorsens: polishing any solver's mapping — here every
+// heuristic on every battery instance — must never increase the period,
+// for both strategies.
+func TestPolishNeverWorsens(t *testing.T) {
+	for k, in := range solverInstances(t) {
+		for _, method := range microfab.Heuristics() {
+			seedMap, err := microfab.Solve(in, method, int64(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, err := microfab.Evaluate(in, seedMap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strategy := range []string{"ls", "anneal"} {
+				polished, err := microfab.Polish(in, seedMap, strategy, microfab.Specialized, 3, 800)
+				if err != nil {
+					t.Fatal(err)
+				}
+				after, err := microfab.Evaluate(in, polished)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if after.Period > before.Period*(1+1e-12) {
+					t.Fatalf("inst%d/%s/%s: polish worsened %v -> %v", k, method, strategy, before.Period, after.Period)
+				}
+			}
+		}
+	}
+}
+
+// TestPolishErrors: bad strategy names and rule-violating mappings are
+// rejected.
+func TestPolishErrors(t *testing.T) {
+	in, err := microfab.GenerateChain(microfab.CampaignParams(6, 2, 4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := microfab.Solve(in, "H4w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := microfab.Polish(in, mp, "tabu", microfab.Specialized, 1, 0); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if err := mp.CheckRule(in.App, microfab.OneToOne); err != nil {
+		// A specialized mapping that is not one-to-one must be rejected
+		// when polished under the one-to-one rule.
+		if _, err := microfab.Polish(in, mp, "ls", microfab.OneToOne, 1, 0); err == nil {
+			t.Fatal("rule-violating seed accepted")
+		}
+	}
+}
