@@ -8,6 +8,7 @@
 //	mfexp -all -draws 5     # all figures, 5 draws per point (quick)
 //	mfexp -fig 10 -mip-time 5s
 //	mfexp -fig 9 -workers 8 -progress
+//	mfexp -fig 12 -exact-workers 4   # parallel DFS burst per draw
 //	mfexp -fig 8 -polish ls # hill-climb post-pass on every draw
 //
 // -polish refines every heuristic mapping with a bounded local-search
@@ -41,6 +42,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "campaign seed")
 		mipTime  = flag.Duration("mip-time", 10*time.Second, "time budget per exact MIP solve")
 		workers  = flag.Int("workers", 0, "concurrent draw workers (0 = all CPUs, 1 = sequential)")
+		exactW   = flag.Int("exact-workers", 0, "workers of each draw's exact DFS burst (0/1 = sequential; figures 10..12)")
 		polish   = flag.String("polish", "", "local-search post-pass per draw: ls | anneal")
 		pBudget  = flag.Int("polish-budget", 0, "post-pass budget per mapping (0 = default)")
 		progress = flag.Bool("progress", false, "report draw progress on stderr")
@@ -48,7 +50,8 @@ func main() {
 	flag.Parse()
 	cfg := experiments.Config{
 		Draws: *draws, Thin: *thin, Seed: *seed, MIPTimeLimit: *mipTime,
-		Workers: *workers, Polish: *polish, PolishBudget: *pBudget,
+		Workers: *workers, ExactWorkers: *exactW,
+		Polish: *polish, PolishBudget: *pBudget,
 	}
 	if *progress {
 		cfg.Progress = func(done, total int) {

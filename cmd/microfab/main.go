@@ -8,6 +8,7 @@
 //	microfab -in instance.json [-solver H4w] [-rule specialized]
 //	         [-polish ls|anneal] [-polish-budget N]
 //	         [-seed 1] [-out mapping.json]
+//	microfab -in instance.json -solver exact [-rule general] [-workers 8]
 //	microfab -fig 5 [-draws 5] [-thin 2] [-workers 8] [-seed 1]
 //	         [-polish ls|anneal]
 //
@@ -15,6 +16,10 @@
 // (see package microfab's Solve for their meaning; -method is an alias
 // kept for compatibility). -polish refines the solver's mapping with a
 // bounded local-search post-pass before reporting.
+//
+// With -solver exact the branch and bound honors -rule directly and fans
+// its root split out over -workers goroutines (0 = all CPUs); proven
+// results are byte-identical for any worker count.
 //
 // With -fig the instance flags are ignored and the paper's evaluation
 // figure is regenerated through the facade instead, fanning draws out
@@ -26,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	microfab "microfab"
 	"microfab/internal/core"
@@ -47,7 +54,7 @@ func main() {
 		fig     = flag.Int("fig", 0, "regenerate this evaluation figure (5..12) instead of solving an instance")
 		draws   = flag.Int("draws", 0, "with -fig: random draws per point (0 = the paper's count)")
 		thin    = flag.Int("thin", 0, "with -fig: keep every k-th x point (0 = all)")
-		workers = flag.Int("workers", 0, "with -fig: concurrent draw workers (0 = all CPUs, 1 = sequential)")
+		workers = flag.Int("workers", 0, "concurrent workers: draw workers with -fig, root-split workers with -solver exact (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 	if *solver != "" && *method != "" && *solver != *method {
@@ -72,7 +79,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*inPath, name, *rule, *seed, *outPath, *xout, *polish, *pBudget); err != nil {
+	if err := run(*inPath, name, *rule, *seed, *outPath, *xout, *polish, *pBudget, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "microfab:", err)
 		os.Exit(1)
 	}
@@ -90,7 +97,7 @@ func runFigure(fig, draws, thin, workers int, seed int64, polish string, polishB
 	return nil
 }
 
-func run(inPath, method, ruleName string, seed int64, outPath string, xout float64, polish string, polishBudget int) error {
+func run(inPath, method, ruleName string, seed int64, outPath string, xout float64, polish string, polishBudget int, workers int) error {
 	in, err := instance.Load(inPath)
 	if err != nil {
 		return err
@@ -107,9 +114,33 @@ func run(inPath, method, ruleName string, seed int64, outPath string, xout float
 		return fmt.Errorf("unknown rule %q", ruleName)
 	}
 
-	mp, err := microfab.Solve(in, method, seed)
-	if err != nil {
-		return err
+	var mp *core.Mapping
+	var exactRes *microfab.ExactResult
+	if method == "exact" {
+		// The exact path honors -rule and -workers directly: the DFS
+		// branch and bound solves any of the three rules, and its root
+		// split fans out over the worker pool (proven results are
+		// byte-identical for any worker count).
+		w := workers
+		if w == 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		var err error
+		exactRes, err = microfab.SolveExact(in, microfab.ExactOptions{
+			Rule:      rule,
+			TimeLimit: 30 * time.Second,
+			Workers:   w,
+		})
+		if err != nil {
+			return err
+		}
+		mp = exactRes.Mapping
+	} else {
+		var err error
+		mp, err = microfab.Solve(in, method, seed)
+		if err != nil {
+			return err
+		}
 	}
 	if err := mp.CheckRule(in.App, rule); err != nil {
 		return fmt.Errorf("%s produced a mapping outside rule %s: %w", method, ruleName, err)
@@ -133,6 +164,9 @@ func run(inPath, method, ruleName string, seed int64, outPath string, xout float
 		fmt.Printf("method   : %s (rule %s)\n", method, ruleName)
 	}
 	fmt.Printf("mapping  : %s\n", mp)
+	if exactRes != nil {
+		fmt.Printf("search   : proven=%v, %d nodes\n", exactRes.Proven, exactRes.Nodes)
+	}
 	fmt.Printf("period   : %.2f ms (critical machine %s)\n", ev.Period, in.Platform.Name(ev.Critical))
 	fmt.Printf("throughput: %.6f products/ms\n", ev.Throughput)
 	for u, p := range ev.MachinePeriods {

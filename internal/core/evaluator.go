@@ -95,6 +95,23 @@ func NewEvaluatorFrom(in *Instance, m *Mapping) (*Evaluator, error) {
 	return e, nil
 }
 
+// Clone returns an independent Evaluator with the same instance and the
+// same incremental state: assignments, pricing, per-machine sums and the
+// lazy maximum. Mutating either copy never affects the other, so a search
+// can fan one evaluator out across goroutines by giving each worker its
+// own clone (the underlying Instance is immutable and stays shared).
+func (e *Evaluator) Clone() *Evaluator {
+	return &Evaluator{
+		in:        e.in,
+		assign:    append([]platform.MachineID(nil), e.assign...),
+		priced:    append([]bool(nil), e.priced...),
+		x:         append([]float64(nil), e.x...),
+		contrib:   append([]float64(nil), e.contrib...),
+		led:       e.led.clone(),
+		nAssigned: e.nAssigned,
+	}
+}
+
 // Reset returns the Evaluator to the all-unassigned state.
 func (e *Evaluator) Reset() {
 	for i := range e.assign {

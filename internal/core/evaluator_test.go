@@ -386,3 +386,63 @@ func TestPeriodEDistinguishesErrors(t *testing.T) {
 		t.Fatalf("PeriodE %v != Period %v on a complete mapping", p, core.Period(in, complete))
 	}
 }
+
+// TestEvaluatorClone: a clone must observe the same state as its source and
+// then diverge independently — mutations on either side never leak into the
+// other, and both keep matching the from-scratch reference of their own
+// shadow mapping. This is the contract the parallel exact solver relies on
+// when it hands each worker a cloned evaluator.
+func TestEvaluatorClone(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		in, err := gen.InTree(gen.Default(9, 3, 4), 2, gen.RNG(900+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ev := core.NewEvaluator(in)
+		mp := core.NewMapping(in.N())
+		// Mutate to a random mid-search state (holes included) so the clone
+		// copies live pricing, compensation and dirty-maximum state.
+		for _, i := range in.App.ReverseTopological() {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			u := platform.MachineID(rng.Intn(in.M()))
+			if err := ev.Assign(i, u); err != nil {
+				t.Fatal(err)
+			}
+			mp.Assign(i, u)
+		}
+		cl := ev.Clone()
+		clMp := mp.Clone()
+		checkAgainstReference(t, in, clMp, cl, "fresh clone")
+
+		// Diverge both sides with independent mutation scripts.
+		for s := 0; s < 40; s++ {
+			i := app.TaskID(rng.Intn(in.N()))
+			if rng.Intn(3) == 0 {
+				ev.Unassign(i)
+				mp.Unassign(i)
+			} else {
+				u := platform.MachineID(rng.Intn(in.M()))
+				if err := ev.Assign(i, u); err != nil {
+					t.Fatal(err)
+				}
+				mp.Assign(i, u)
+			}
+			j := app.TaskID(rng.Intn(in.N()))
+			if rng.Intn(3) == 0 {
+				cl.Unassign(j)
+				clMp.Unassign(j)
+			} else {
+				u := platform.MachineID(rng.Intn(in.M()))
+				if err := cl.Assign(j, u); err != nil {
+					t.Fatal(err)
+				}
+				clMp.Assign(j, u)
+			}
+			checkAgainstReference(t, in, mp, ev, fmt.Sprintf("source step %d", s))
+			checkAgainstReference(t, in, clMp, cl, fmt.Sprintf("clone step %d", s))
+		}
+	}
+}

@@ -49,6 +49,22 @@ func newLoadLedger(m int) loadLedger {
 	}
 }
 
+// clone returns an independent deep copy of the ledger, dirty state
+// included: a clone made mid-mutation flushes exactly like the original
+// would have.
+func (l *loadLedger) clone() loadLedger {
+	return loadLedger{
+		period:   append([]float64(nil), l.period...),
+		comp:     append([]float64(nil), l.comp...),
+		count:    append([]int(nil), l.count...),
+		tree:     append([]float64(nil), l.tree...),
+		treeBase: l.treeBase,
+		dirty:    append([]platform.MachineID(nil), l.dirty...),
+		stamp:    append([]int(nil), l.stamp...),
+		stampID:  l.stampID,
+	}
+}
+
 // reset returns the ledger to the all-zero state.
 func (l *loadLedger) reset() {
 	for u := range l.period {

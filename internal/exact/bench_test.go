@@ -2,6 +2,7 @@ package exact
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"microfab/internal/app"
@@ -143,5 +144,40 @@ func TestFullRecomputeReferenceAgrees(t *testing.T) {
 		if math.Abs(res.Period-ref) > 1e-9*ref {
 			t.Fatalf("seed %d: solver %v != full-recompute reference %v", seed, res.Period, ref)
 		}
+	}
+}
+
+// BenchmarkExactParallel measures the scaled-up solver on a symmetric
+// n=16 instance that the seed configuration cannot prove quickly: 1 vs
+// NumCPU workers, with the lower bound and the dominance rule ablated
+// alongside (the bound/dominance=off axes pin their pruning cost/benefit,
+// the worker axis the root-split speedup). Every variant runs under the
+// same global node cap so nodes/s is comparable across them.
+func BenchmarkExactParallel(b *testing.B) {
+	in := symmetricInstanceF(b, 16, 2, 8, 4, 0.005, 0.05, 77)
+	const cap = 400_000
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"workers=1", Options{Rule: core.Specialized, MaxNodes: cap}},
+		{"workers=NumCPU", Options{Rule: core.Specialized, MaxNodes: cap, Workers: runtime.NumCPU()}},
+		{"workers=1/bound=off", Options{Rule: core.Specialized, MaxNodes: cap, DisableBound: true}},
+		{"workers=NumCPU/bound=off", Options{Rule: core.Specialized, MaxNodes: cap, DisableBound: true, Workers: runtime.NumCPU()}},
+		{"workers=1/dominance=off", Options{Rule: core.Specialized, MaxNodes: cap, DisableDominance: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var nodes int64
+			b.ResetTimer()
+			for k := 0; k < b.N; k++ {
+				res, err := Solve(in, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += res.Nodes
+			}
+			b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+		})
 	}
 }

@@ -1,0 +1,369 @@
+// Admissible per-node lower bounds for the branch and bound, plus the
+// shared search budget and the cross-worker incumbent.
+//
+// The bound combines three valid relaxations of "best completion of this
+// node", each a pure function of the current partial assignment:
+//
+//   - current maximum load: loads only grow as tasks are placed;
+//   - cheapest-remaining-task: the machine that ends up carrying an
+//     unplaced task i gains at least dlb(i)·min_u F(i,u)·w(i,u), where
+//     dlb(i) lower-bounds i's downstream demand (exact x[succ] when the
+//     successor is placed, optimistic min-inflation product otherwise);
+//   - work packing: total work must fit on m machines, so the period is at
+//     least total/m. Under the Specialized rule this sharpens to a
+//     type-count bound: tasks of a type occupy machines dedicated to it,
+//     so water-filling the m machines over the per-type work totals gives
+//     min over allocations {k_t >= 1, Σk_t <= m} of max_t W_t/k_t — +Inf
+//     when more types than machines remain, which also proves
+//     infeasibility.
+//
+// Admissibility is fuzz-gated by FuzzExactBound against a brute-force
+// completion oracle.
+package exact
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// bounder holds the static ingredients of the per-node lower bound; it is
+// read-only after construction and shared by all workers.
+type bounder struct {
+	// minInfl[i] = min_u 1/(1-f[i][u]): the most optimistic inflation any
+	// machine offers task i.
+	minInfl []float64
+	// minCost[i] = min_u F(i,u)·w(i,u): the cheapest contribution task i
+	// can make to any machine, per unit of downstream demand.
+	minCost []float64
+	// pos[i] is task i's position in the search order.
+	pos []int
+}
+
+func newBounder(in *core.Instance, order []app.TaskID) *bounder {
+	n, m := in.N(), in.M()
+	b := &bounder{
+		minInfl: make([]float64, n),
+		minCost: make([]float64, n),
+		pos:     make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		id := app.TaskID(i)
+		bestInfl, bestCost := math.Inf(1), math.Inf(1)
+		for u := 0; u < m; u++ {
+			mu := platform.MachineID(u)
+			infl := in.Failures.Inflation(id, mu)
+			if infl < bestInfl {
+				bestInfl = infl
+			}
+			if c := infl * in.Platform.Time(id, mu); c < bestCost {
+				bestCost = c
+			}
+		}
+		b.minInfl[i] = bestInfl
+		b.minCost[i] = bestCost
+	}
+	for k, i := range order {
+		b.pos[i] = k
+	}
+	return b
+}
+
+// sumSlack deflates the summation-based bound ingredients (water-filling,
+// total/m packing): their accumulations associate differently from any
+// machine's load sum, so a bound that ties the true optimum to the last
+// ulp could otherwise overshoot it by rounding and prune an optimal
+// subtree. The slack is ~1e4 times the worst accumulated relative error
+// (n·2⁻⁵²) and costs nothing measurable in pruning power. The remaining
+// ingredients (max load, cheapest landing) reproduce the DFS's own load
+// expressions term for term and need none.
+const sumSlack = 1 - 1e-12
+
+// lowerBound returns an admissible lower bound on the period of any
+// completion of the current node (order[0..k) placed). O((n-k)·m) plus
+// the water-filling pass under the Specialized rule.
+func (s *searcher) lowerBound(k int) float64 {
+	n := len(s.order)
+	lb := s.maxLoad()
+	if k == n {
+		return lb
+	}
+	b := s.bnd
+	spec := s.rule == core.Specialized
+	var total float64
+	if spec {
+		// Placed work per type: placed contributions are exact (x is final
+		// once the successor chain is placed) and only ever move between
+		// machines of the same dedicated type.
+		for t := range s.typeW {
+			s.typeW[t] = 0
+		}
+		for j := 0; j < k; j++ {
+			i := s.order[j]
+			c := s.ev.X(i) * s.in.Platform.Time(i, s.ev.Machine(i))
+			s.typeW[s.in.App.Type(i)] += c
+			total += c
+		}
+	} else {
+		for _, l := range s.load {
+			total += l
+		}
+	}
+	// Unplaced suffix: propagate demand lower bounds root-first. order is
+	// reverse topological, so a task's successor sits at an earlier
+	// position — either placed (exact demand) or already visited in this
+	// loop (optimistic demand). Each unplaced task must land on a machine
+	// that is feasible *now* (completions only ever shrink the feasible
+	// set: dedications and one-to-one uses are never undone), so the
+	// cheapest landing — current load included — bounds the final period.
+	maxTask := 0.0
+	for j := k; j < n; j++ {
+		i := s.order[j]
+		var d float64
+		if succ := s.in.App.Successor(i); succ == app.NoTask {
+			d = 1
+		} else if sp := b.pos[succ]; sp < k {
+			d = s.ev.X(succ)
+		} else {
+			d = s.dlb[sp] * b.minInfl[succ]
+		}
+		s.dlb[j] = d
+		c := d * b.minCost[i]
+		total += c
+		ty := s.in.App.Type(i)
+		if spec {
+			s.typeW[ty] += c
+		}
+		land := math.Inf(1)
+		for u := 0; u < s.m; u++ {
+			if !s.feasible(u, ty) {
+				continue
+			}
+			mu := platform.MachineID(u)
+			at := s.load[u] + d*s.in.Failures.Inflation(i, mu)*s.in.Platform.Time(i, mu)
+			if at < land {
+				land = at
+			}
+		}
+		if land > maxTask {
+			maxTask = land
+		}
+	}
+	if maxTask > lb {
+		lb = maxTask
+	}
+	if spec {
+		// Machines already dedicated to a type stay dedicated, so the
+		// water-filling allocation floors each type at its current machine
+		// count.
+		for t := range s.ded {
+			s.ded[t] = 0
+		}
+		for u := 0; u < s.m; u++ {
+			if s.nOn[u] > 0 && s.spec[u] != noType {
+				s.ded[s.spec[u]]++
+			}
+		}
+		if wf := waterfill(s.typeW, s.ded, s.m, s.alloc) * sumSlack; wf > lb {
+			lb = wf
+		}
+	} else if pk := total / float64(s.m) * sumSlack; pk > lb {
+		lb = pk
+	}
+	return lb
+}
+
+// waterfill returns min over integer machine allocations
+// {k_t >= max(1, ded[t]) for W[t] > 0, Σ k_t <= m} of max_t W[t]/k_t — the
+// best period a Specialized mapping could reach if every type's work were
+// perfectly divisible over the machines it may still claim. +Inf when the
+// floors alone exceed m (infeasible: some remaining type can never get a
+// machine). Greedily handing each spare machine to the currently worst
+// type is optimal: per-machine relief W/k - W/(k+1) is decreasing in k,
+// the classic minimax allocation.
+func waterfill(W []float64, ded []int, m int, alloc []int) float64 {
+	floor := 0
+	any := false
+	for t, w := range W {
+		if w > 0 {
+			any = true
+			alloc[t] = ded[t]
+			if alloc[t] < 1 {
+				alloc[t] = 1
+			}
+			floor += alloc[t]
+		} else {
+			alloc[t] = 0
+		}
+	}
+	if !any {
+		return 0
+	}
+	if floor > m {
+		return math.Inf(1)
+	}
+	for extra := m - floor; extra > 0; extra-- {
+		worst, at := -1.0, -1
+		for t, w := range W {
+			if w <= 0 {
+				continue
+			}
+			if v := w / float64(alloc[t]); v > worst {
+				worst, at = v, t
+			}
+		}
+		alloc[at]++
+	}
+	worst := 0.0
+	for t, w := range W {
+		if w <= 0 {
+			continue
+		}
+		if v := w / float64(alloc[t]); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// --- shared search budget ------------------------------------------------
+
+// nodeBatch is the reservation granularity workers draw from the global
+// node pool with; it bounds the atomic traffic on the hot path without
+// letting the pool overshoot (reservations never exceed MaxNodes, and
+// unused ones are returned).
+const nodeBatch = 256
+
+// budget is the search allowance shared by every worker of one Solve call:
+// a global node pool, a wall-clock deadline, and a stop flag any worker can
+// raise.
+type budget struct {
+	reserved atomic.Int64
+	maxNodes int64
+	deadline time.Time
+	stop     atomic.Bool
+}
+
+func newBudget(o Options) *budget {
+	b := &budget{maxNodes: o.maxNodes()}
+	if o.TimeLimit > 0 {
+		b.deadline = time.Now().Add(o.TimeLimit)
+	}
+	return b
+}
+
+// grab reserves up to nodeBatch nodes from the pool; 0 means the budget is
+// exhausted (and raises the stop flag).
+func (b *budget) grab() int64 {
+	for {
+		cur := b.reserved.Load()
+		n := b.maxNodes - cur
+		if n <= 0 {
+			b.stop.Store(true)
+			return 0
+		}
+		if n > nodeBatch {
+			n = nodeBatch
+		}
+		if b.reserved.CompareAndSwap(cur, cur+n) {
+			return n
+		}
+	}
+}
+
+// nodeMeter is one worker's private view of the shared budget.
+type nodeMeter struct {
+	bud   *budget
+	avail int64 // reserved, not yet consumed
+	used  int64 // consumed by this worker (paces the deadline checks)
+}
+
+// step consumes one node; false means the search must stop (budget
+// exhausted, deadline passed, or another worker stopped).
+func (m *nodeMeter) step() bool {
+	if m.bud.stop.Load() {
+		return false
+	}
+	if m.avail == 0 {
+		if m.avail = m.bud.grab(); m.avail == 0 {
+			return false
+		}
+	}
+	m.avail--
+	m.used++
+	if m.used%4096 == 0 && !m.bud.deadline.IsZero() && time.Now().After(m.bud.deadline) {
+		m.bud.stop.Store(true)
+		return false
+	}
+	return true
+}
+
+func (m *nodeMeter) stopped() bool { return m.bud.stop.Load() }
+
+// release returns unconsumed reservations to the pool so Result.Nodes
+// reports nodes actually explored.
+func (m *nodeMeter) release() {
+	if m.avail > 0 {
+		m.bud.reserved.Add(-m.avail)
+		m.avail = 0
+	}
+}
+
+// --- cross-worker incumbent ----------------------------------------------
+
+// incumbent is the best complete solution found so far, shared across
+// workers: a lock-free period for the hot pruning reads plus a
+// mutex-guarded (period, mapping) pair for the final stopped-search
+// answer. Workers prune strictly (> rather than >=) against it so that a
+// subtree containing an optimum is never abandoned because a peer found an
+// equal solution first — the determinism lever of the root split.
+type incumbent struct {
+	bits atomic.Uint64 // math.Float64bits of the best shared period
+
+	mu      sync.Mutex
+	period  float64
+	mapping *core.Mapping
+}
+
+func newIncumbent(period float64, mapping *core.Mapping) *incumbent {
+	inc := &incumbent{period: period, mapping: mapping}
+	inc.bits.Store(math.Float64bits(period))
+	return inc
+}
+
+// load returns the current shared period (possibly stale, never below the
+// true optimum — safe for strict pruning).
+func (inc *incumbent) load() float64 {
+	return math.Float64frombits(inc.bits.Load())
+}
+
+// offer publishes a solution; the best one wins. mp must not be mutated
+// afterwards (searchers always pass fresh Mapping snapshots).
+func (inc *incumbent) offer(p float64, mp *core.Mapping) {
+	for {
+		cur := inc.bits.Load()
+		if p >= math.Float64frombits(cur) {
+			break
+		}
+		if inc.bits.CompareAndSwap(cur, math.Float64bits(p)) {
+			break
+		}
+	}
+	inc.mu.Lock()
+	if p < inc.period {
+		inc.period, inc.mapping = p, mp
+	}
+	inc.mu.Unlock()
+}
+
+// snapshot returns the best (period, mapping) pair observed so far.
+func (inc *incumbent) snapshot() (float64, *core.Mapping) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.period, inc.mapping
+}

@@ -103,11 +103,13 @@ func TestDominancePrunesSymmetricPlatforms(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			in := symmetricInstance(t, tc.n, tc.p, tc.m, tc.distinct)
-			on, err := Solve(in, Options{Rule: core.Specialized})
+			// The lower bound is ablated so the node counts isolate the
+			// dominance rule's own pruning factor.
+			on, err := Solve(in, Options{Rule: core.Specialized, DisableBound: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			off, err := Solve(in, Options{Rule: core.Specialized, DisableDominance: true})
+			off, err := Solve(in, Options{Rule: core.Specialized, DisableDominance: true, DisableBound: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -136,11 +138,11 @@ func TestDominanceVacuousOnHeterogeneous(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		on, err := Solve(in, Options{Rule: core.Specialized})
+		on, err := Solve(in, Options{Rule: core.Specialized, DisableBound: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		off, err := Solve(in, Options{Rule: core.Specialized, DisableDominance: true})
+		off, err := Solve(in, Options{Rule: core.Specialized, DisableDominance: true, DisableBound: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,11 +157,11 @@ func TestDominanceVacuousOnHeterogeneous(t *testing.T) {
 // (empty machines are exactly the unused ones).
 func TestDominanceOneToOne(t *testing.T) {
 	in := symmetricInstance(t, 5, 2, 7, 1)
-	on, err := Solve(in, Options{Rule: core.OneToOne})
+	on, err := Solve(in, Options{Rule: core.OneToOne, DisableBound: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Solve(in, Options{Rule: core.OneToOne, DisableDominance: true})
+	off, err := Solve(in, Options{Rule: core.OneToOne, DisableDominance: true, DisableBound: true})
 	if err != nil {
 		t.Fatal(err)
 	}

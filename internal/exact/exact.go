@@ -6,21 +6,33 @@
 //
 // The search walks tasks root-first (so x[i] is priced exactly as tasks are
 // placed, exactly like the heuristics) and prunes a branch as soon as the
-// maximum machine load reaches the incumbent period. Candidate pricing,
-// machine loads and the running maximum all live in a core.Evaluator, whose
-// Assign/Unassign push/pop keeps the per-node cost at O(log m) instead of a
-// full O(n·m) re-evaluation. Worst-case cost is m^n; with pruning it
-// handles the paper's MIP-scale instances (n <= 15, m <= 9) comfortably.
+// maximum machine load reaches the incumbent period. Candidate pricing
+// lives in a core.Evaluator, whose Assign/Unassign push/pop keeps the
+// per-node cost at O(log m) instead of a full O(n·m) re-evaluation;
+// per-machine loads are additionally kept in a snapshot/restore array so
+// that every load is a pure function of the current partial assignment
+// (bit-exact across search orders — see searcher.load).
 //
-// A dominance rule breaks machine symmetry: machines with identical
-// execution-time and failure columns (w[·][u] == w[·][v] and
-// f[·][u] == f[·][v]) are interchangeable while both are still empty, so
-// at every node the search branches on only the first currently-empty
-// machine of each symmetry class. On platforms with duplicated machine
-// specs this collapses the k! orderings of k identical empty machines to
-// one (see TestDominancePrunesSymmetricPlatforms for the node counts);
-// on fully heterogeneous platforms every class is a singleton and the
-// rule is vacuous.
+// Two pruning rules shrink the tree beyond the incumbent test:
+//
+//   - A dominance rule breaks machine symmetry: machines with identical
+//     execution-time and failure columns (w[·][u] == w[·][v] and
+//     f[·][u] == f[·][v]) are interchangeable while both are still empty, so
+//     at every node the search branches on only the first currently-empty
+//     machine of each symmetry class (Options.DisableDominance ablates).
+//   - An admissible per-node lower bound (bound.go): the cheapest possible
+//     remaining work of the unplaced tasks, aggregated per machine count —
+//     with a type-count water-filling refinement under the Specialized rule
+//     — never exceeds the best completion of the node, so a node whose
+//     bound reaches the incumbent is pruned without visiting its subtree
+//     (Options.DisableBound ablates).
+//
+// Options.Workers > 1 runs the search as a parallel root split
+// (parallel.go): the assignment frontier is enumerated to a small depth and
+// the subtrees fan out over a worker pool sharing one atomic incumbent and
+// one atomic node budget, each worker owning a cloned core.Evaluator.
+// Proven results are byte-identical for any worker count; only Result.Nodes
+// varies.
 package exact
 
 import (
@@ -38,7 +50,9 @@ import (
 type Options struct {
 	// Rule defaults to Specialized.
 	Rule core.Rule
-	// MaxNodes caps explored partial assignments (0 = 50 million).
+	// MaxNodes caps explored partial assignments (0 = 50 million). The cap
+	// is global: a parallel search shares one atomic node pool across its
+	// workers, so Workers=N never explores more nodes than Workers=1.
 	MaxNodes int64
 	// TimeLimit stops the search (0 = none). On stop the best incumbent
 	// so far is returned with Proven=false.
@@ -49,6 +63,16 @@ type Options struct {
 	// (identical w/f columns), for ablations and node-count tests. The
 	// optimum is unaffected either way.
 	DisableDominance bool
+	// DisableBound turns the admissible per-node lower bound off, for
+	// ablations and node-count tests. The optimum is unaffected either way.
+	DisableBound bool
+	// Workers fans the search out over a pool of goroutines via a root
+	// split (0 or 1 = sequential; see parallel.go). Proven results are
+	// byte-identical for any worker count. A search stopped by MaxNodes
+	// keeps the global budget but may stop at a different incumbent than a
+	// sequential run; a search stopped by TimeLimit is wall-clock-dependent
+	// either way.
+	Workers int
 }
 
 func (o Options) maxNodes() int64 {
@@ -56,6 +80,13 @@ func (o Options) maxNodes() int64 {
 		return o.MaxNodes
 	}
 	return 50_000_000
+}
+
+func (o Options) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
 }
 
 // Result is the search outcome.
@@ -67,6 +98,27 @@ type Result struct {
 	Nodes  int64
 }
 
+// solver is the shared setup of one Solve call: the instance-wide
+// read-only tables (task order, symmetry classes, bound ingredients), the
+// global budget, and the warm-start incumbent. The sequential search runs
+// one searcher over it; the parallel root split shares it across workers.
+type solver struct {
+	in      *core.Instance
+	rule    core.Rule
+	order   []app.TaskID
+	classOf []int
+	noSym   bool
+	bnd     *bounder
+	bud     *budget
+	baseEv  *core.Evaluator
+
+	warmPeriod float64
+	warm       *core.Mapping
+}
+
+// searcher is one goroutine's search state. All fields are private to the
+// owning goroutine; cross-worker coordination happens only through the
+// shared budget and incumbent.
 type searcher struct {
 	in    *core.Instance
 	rule  core.Rule
@@ -83,12 +135,39 @@ type searcher struct {
 	nOn     []int
 	noSym   bool
 
+	// load[u] is the current period of machine u, maintained by saving the
+	// touched machine's previous value in the recursion frame and restoring
+	// it bit-exactly on unwind. Unlike the evaluator's compensated ledger
+	// sums (whose last ulp depends on the charge/discharge history), these
+	// loads are a pure function of the current partial assignment — the
+	// property that makes parallel and sequential searches byte-identical.
+	load []float64
+	// frames backs push/pop prefix replays (parallel root split).
+	frames []frame
+
+	bnd *bounder // nil = bound pruning disabled
+	// bound scratch (see lowerBound): demand lower bounds per order
+	// position, per-type work, dedicated-machine counts, water-filling
+	// allocation.
+	dlb   []float64
+	typeW []float64
+	ded   []int
+	alloc []int
+
+	// shared is the cross-worker incumbent (nil in a sequential search).
+	shared *incumbent
+
 	best       *core.Mapping
 	bestPeriod float64
-	nodes      int64
-	maxNodes   int64
-	deadline   time.Time
-	stopped    bool
+
+	meter nodeMeter
+}
+
+// frame saves the bookkeeping a prefix replay overwrites.
+type frame struct {
+	spec app.TypeID
+	used bool
+	load float64
 }
 
 const noType app.TypeID = -1
@@ -96,40 +175,50 @@ const noType app.TypeID = -1
 // Solve finds an optimal mapping under the rule, or the best incumbent when
 // a budget interrupts the search.
 func Solve(in *core.Instance, opts Options) (*Result, error) {
+	sv, err := newSolver(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	if w := opts.workers(); w > 1 {
+		return sv.solveParallel(w)
+	}
+	s := sv.newSearcher(nil)
+	s.best = sv.warm
+	s.bestPeriod = sv.warmPeriod
+	s.dfs(0)
+	s.meter.release()
+	return sv.finish(s.best, s.bestPeriod)
+}
+
+// newSolver validates the instance and assembles the shared search setup.
+func newSolver(in *core.Instance, opts Options) (*solver, error) {
 	if in.N() == 0 {
 		return nil, fmt.Errorf("exact: empty instance")
 	}
 	if opts.Rule == core.OneToOne && in.N() > in.M() {
 		return nil, fmt.Errorf("exact: one-to-one impossible with n=%d > m=%d", in.N(), in.M())
 	}
-	s := &searcher{
+	sv := &solver{
 		in:         in,
 		rule:       opts.Rule,
 		order:      in.App.ReverseTopological(),
-		m:          in.M(),
-		spec:       make([]app.TypeID, in.M()),
-		used:       make([]bool, in.M()),
-		ev:         core.NewEvaluator(in),
-		bestPeriod: math.Inf(1),
-		maxNodes:   opts.maxNodes(),
+		classOf:    machineClasses(in),
+		noSym:      opts.DisableDominance,
+		bud:        newBudget(opts),
+		baseEv:     core.NewEvaluator(in),
+		warmPeriod: math.Inf(1),
 	}
-	for u := range s.spec {
-		s.spec[u] = noType
-	}
-	s.classOf = machineClasses(in)
-	s.nOn = make([]int, in.M())
-	s.noSym = opts.DisableDominance
-	if opts.TimeLimit > 0 {
-		s.deadline = time.Now().Add(opts.TimeLimit)
+	if !opts.DisableBound {
+		sv.bnd = newBounder(in, sv.order)
 	}
 	if opts.Incumbent != nil {
 		if err := opts.Incumbent.CheckRule(in.App, opts.Rule); err == nil {
 			p, err := core.PeriodE(in, opts.Incumbent)
 			switch {
 			case err == nil:
-				if p < s.bestPeriod {
-					s.bestPeriod = p
-					s.best = opts.Incumbent.Clone()
+				if p < sv.warmPeriod {
+					sv.warmPeriod = p
+					sv.warm = opts.Incumbent.Clone()
 				}
 			case errors.Is(err, core.ErrIncompleteMapping):
 				// A partial incumbent cannot bound the search; ignore it.
@@ -138,33 +227,83 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 			}
 		}
 	}
-	s.dfs(0)
-	if s.best == nil {
-		return nil, fmt.Errorf("exact: no feasible mapping under rule %v", opts.Rule)
+	return sv, nil
+}
+
+// finish packages a search outcome, mapping "nothing found" to the
+// no-feasible-mapping error exactly like the pre-parallel solver did.
+func (sv *solver) finish(best *core.Mapping, period float64) (*Result, error) {
+	if best == nil {
+		return nil, fmt.Errorf("exact: no feasible mapping under rule %v", sv.rule)
 	}
 	return &Result{
-		Mapping: s.best,
-		Period:  s.bestPeriod,
-		Proven:  !s.stopped,
-		Nodes:   s.nodes,
+		Mapping: best,
+		Period:  period,
+		Proven:  !sv.bud.stop.Load(),
+		Nodes:   sv.bud.reserved.Load(),
 	}, nil
 }
 
-func (s *searcher) dfs(k int) {
-	if s.stopped {
-		return
+// newSearcher allocates one goroutine's search state over the solver's
+// shared tables, cloning the base evaluator (workers never share one).
+func (sv *solver) newSearcher(shared *incumbent) *searcher {
+	n, m := sv.in.N(), sv.in.M()
+	s := &searcher{
+		in:         sv.in,
+		rule:       sv.rule,
+		order:      sv.order,
+		m:          m,
+		spec:       make([]app.TypeID, m),
+		used:       make([]bool, m),
+		ev:         sv.baseEv.Clone(),
+		classOf:    sv.classOf,
+		nOn:        make([]int, m),
+		noSym:      sv.noSym,
+		load:       make([]float64, m),
+		frames:     make([]frame, n),
+		bnd:        sv.bnd,
+		shared:     shared,
+		bestPeriod: math.Inf(1),
+		meter:      nodeMeter{bud: sv.bud},
 	}
-	s.nodes++
-	if s.nodes > s.maxNodes || (!s.deadline.IsZero() && s.nodes%4096 == 0 && time.Now().After(s.deadline)) {
-		s.stopped = true
+	for u := range s.spec {
+		s.spec[u] = noType
+	}
+	if s.bnd != nil {
+		s.dlb = make([]float64, n)
+		s.typeW = make([]float64, sv.in.P())
+		s.ded = make([]int, sv.in.P())
+		s.alloc = make([]int, sv.in.P())
+	}
+	return s
+}
+
+func (s *searcher) dfs(k int) {
+	if !s.meter.step() {
 		return
 	}
 	if k == len(s.order) {
-		if p, _ := s.ev.Best(); p < s.bestPeriod {
+		if p := s.maxLoad(); p < s.bestPeriod {
 			s.bestPeriod = p
 			s.best = s.ev.Mapping()
+			if s.shared != nil {
+				s.shared.offer(p, s.best)
+			}
 		}
 		return
+	}
+	sharedP := math.Inf(1)
+	if s.shared != nil {
+		sharedP = s.shared.load()
+	}
+	if s.bnd != nil {
+		// Prune strictly against the shared incumbent but non-strictly
+		// against the local one: an optimal subtree (bound <= optimum <=
+		// shared) is then never lost to another worker's find, which keeps
+		// the parallel result deterministic (see parallel.go).
+		if lb := s.lowerBound(k); lb >= s.bestPeriod || lb > sharedP {
+			return
+		}
 	}
 	i := s.order[k]
 	ty := s.in.App.Type(i)
@@ -173,55 +312,112 @@ func (s *searcher) dfs(k int) {
 	demand, _ := s.ev.Demand(i)
 	for u := 0; u < s.m; u++ {
 		mu := platform.MachineID(u)
-		switch s.rule {
-		case core.OneToOne:
-			if s.used[u] {
-				continue
-			}
-		case core.Specialized:
-			if s.spec[u] != noType && s.spec[u] != ty {
-				continue
-			}
-		}
-		// Dominance: two still-empty machines with identical w/f columns
-		// are interchangeable, so branching on any but the first empty
-		// machine of a class can only revisit (a relabeling of) subtrees
-		// the first already covered. Emptiness is stable while this loop
-		// iterates — recursions restore nOn before returning — so the
-		// "an earlier same-class machine is also empty" test is exact.
-		if !s.noSym && s.nOn[u] == 0 {
-			dominated := false
-			for v := 0; v < u; v++ {
-				if s.nOn[v] == 0 && s.classOf[v] == s.classOf[u] {
-					dominated = true
-					break
-				}
-			}
-			if dominated {
-				continue
-			}
+		if !s.feasible(u, ty) || s.dominated(u) {
+			continue
 		}
 		xi := demand * s.in.Failures.Inflation(i, mu)
-		newLoad := s.ev.MachinePeriod(mu) + xi*s.in.Platform.Time(i, mu)
-		if newLoad >= s.bestPeriod {
+		newLoad := s.load[u] + xi*s.in.Platform.Time(i, mu)
+		if newLoad >= s.bestPeriod || newLoad > sharedP {
 			continue // this branch can only tie or worsen the incumbent
 		}
 		// Apply.
-		prevSpec, prevUsed := s.spec[u], s.used[u]
+		prevSpec, prevUsed, prevLoad := s.spec[u], s.used[u], s.load[u]
 		s.spec[u] = ty
 		s.used[u] = true
 		s.nOn[u]++
+		s.load[u] = newLoad
 		_ = s.ev.Assign(i, mu)
 
 		s.dfs(k + 1)
 
-		// Revert.
+		// Revert (prevLoad restores the exact bits, keeping loads a pure
+		// function of the partial assignment).
 		s.ev.Unassign(i)
+		s.load[u] = prevLoad
 		s.nOn[u]--
 		s.spec[u], s.used[u] = prevSpec, prevUsed
-		if s.stopped {
+		if s.meter.stopped() {
 			return
 		}
+	}
+}
+
+// feasible reports whether machine u may take a task of type ty under the
+// rule, given the current dedications. The one candidate filter shared by
+// the DFS, the frontier enumeration and the lower bound: the root split's
+// subtrees partition exactly the node set a sequential search visits
+// because all three call this same test.
+func (s *searcher) feasible(u int, ty app.TypeID) bool {
+	switch s.rule {
+	case core.OneToOne:
+		if s.used[u] {
+			return false
+		}
+	case core.Specialized:
+		if s.spec[u] != noType && s.spec[u] != ty {
+			return false
+		}
+	}
+	return true
+}
+
+// dominated reports whether branching on machine u is covered by an
+// earlier machine: two still-empty machines with identical w/f columns are
+// interchangeable, so branching on any but the first empty machine of a
+// class can only revisit (a relabeling of) subtrees the first already
+// covered. Emptiness is stable while a candidate loop iterates —
+// recursions restore nOn before returning — so the "an earlier same-class
+// machine is also empty" test is exact.
+func (s *searcher) dominated(u int) bool {
+	if s.noSym || s.nOn[u] != 0 {
+		return false
+	}
+	for v := 0; v < u; v++ {
+		if s.nOn[v] == 0 && s.classOf[v] == s.classOf[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// maxLoad returns the current maximum machine load.
+func (s *searcher) maxLoad() float64 {
+	worst := 0.0
+	for _, l := range s.load {
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// push replays a frontier prefix (machines for order[0..len(prefix))) onto
+// the searcher. The load update mirrors the dfs expression term for term so
+// replayed and descended states are bit-identical.
+func (s *searcher) push(prefix []platform.MachineID) {
+	for j, mu := range prefix {
+		i := s.order[j]
+		u := int(mu)
+		s.frames[j] = frame{spec: s.spec[u], used: s.used[u], load: s.load[u]}
+		demand, _ := s.ev.Demand(i)
+		xi := demand * s.in.Failures.Inflation(i, mu)
+		s.load[u] = s.load[u] + xi*s.in.Platform.Time(i, mu)
+		s.spec[u] = s.in.App.Type(i)
+		s.used[u] = true
+		s.nOn[u]++
+		_ = s.ev.Assign(i, mu)
+	}
+}
+
+// pop reverts a push, restoring the saved bookkeeping bit-exactly.
+func (s *searcher) pop(prefix []platform.MachineID) {
+	for j := len(prefix) - 1; j >= 0; j-- {
+		mu := prefix[j]
+		u := int(mu)
+		s.ev.Unassign(s.order[j])
+		s.nOn[u]--
+		f := s.frames[j]
+		s.spec[u], s.used[u], s.load[u] = f.spec, f.used, f.load
 	}
 }
 

@@ -1,0 +1,167 @@
+// Parallel root split: the branch and bound fans out over a worker pool by
+// enumerating the assignment frontier to a small depth d and handing each
+// frontier prefix (a subtree root) to a worker. Workers share one atomic
+// node budget and one atomic incumbent; each owns a cloned core.Evaluator
+// and a private searcher, so nothing on the hot path takes a lock.
+//
+// Determinism. A proven parallel search returns byte-identical results for
+// any worker count, including Workers=1 sequential search, because every
+// ingredient of the answer is timing-independent:
+//
+//   - loads, x-values and bounds are pure functions of a node's partial
+//     assignment (see searcher.load), so a subtree explores the same tree
+//     shape regardless of which worker runs it or when;
+//   - workers prune non-strictly (>=) against their job-local incumbent —
+//     whose evolution is deterministic within the subtree — but strictly
+//     (>) against the shared cross-worker incumbent. A subtree whose true
+//     optimum P equals the global optimum therefore always reaches its
+//     first P-attaining leaf in DFS order: ancestors of that leaf have
+//     bound <= P <= shared, which never trips a strict test, whatever the
+//     other workers published in the meantime;
+//   - the reduction walks subtree reports in frontier order and keeps the
+//     first strict improvement, exactly what a sequential search that
+//     visited the subtrees in that order would have kept.
+//
+// A search stopped by budget returns the best solution any worker found
+// (Proven=false); which one that is depends on timing, like any interrupted
+// anytime search.
+package exact
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// report is one subtree's deterministic outcome: its best improvement over
+// the warm-start period, or nil when the subtree was exhausted or pruned
+// without improving it.
+type report struct {
+	period  float64
+	mapping *core.Mapping
+}
+
+// solveParallel runs the root split over `workers` goroutines.
+func (sv *solver) solveParallel(workers int) (*Result, error) {
+	shared := newIncumbent(sv.warmPeriod, sv.warm)
+	enum := sv.newSearcher(shared)
+	enum.bestPeriod = sv.warmPeriod
+	jobs, depth := sv.enumerate(enum, workers)
+	enum.meter.release()
+
+	if len(jobs) == 0 || sv.bud.stop.Load() {
+		// Frontier exhausted (every completion prunes against the warm
+		// start, or no feasible assignment exists) or budget gone before
+		// the split: the warm start is the answer, if there is one.
+		return sv.finish(sv.warm, sv.warmPeriod)
+	}
+
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	reports := make([]report, len(jobs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := sv.newSearcher(shared)
+			defer s.meter.release()
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= len(jobs) || sv.bud.stop.Load() {
+					return
+				}
+				s.push(jobs[j])
+				s.best = nil
+				s.bestPeriod = sv.warmPeriod
+				s.dfs(depth)
+				if s.best != nil {
+					reports[j] = report{period: s.bestPeriod, mapping: s.best}
+				}
+				s.pop(jobs[j])
+			}
+		}()
+	}
+	wg.Wait()
+
+	if sv.bud.stop.Load() {
+		// Interrupted: the shared incumbent holds the best solution any
+		// worker published (the warm start when nobody improved on it).
+		p, mp := shared.snapshot()
+		return sv.finish(mp, p)
+	}
+	best, bestPeriod := sv.warm, sv.warmPeriod
+	for _, r := range reports {
+		if r.mapping != nil && r.period < bestPeriod {
+			best, bestPeriod = r.mapping, r.period
+		}
+	}
+	return sv.finish(best, bestPeriod)
+}
+
+// enumerate expands the assignment frontier level by level until it is wide
+// enough to keep the pool busy (~8 subtrees per worker), the next level
+// would complete the mapping, or the budget stops the search. Every prefix
+// respects the rule, the dominance filter, and the warm-start pruning, so
+// the subtrees partition exactly the node set a sequential search visits.
+func (sv *solver) enumerate(s *searcher, workers int) ([][]platform.MachineID, int) {
+	n := len(sv.order)
+	frontier := [][]platform.MachineID{nil}
+	depth := 0
+	target := 8 * workers
+	for depth < n-1 && len(frontier) < target {
+		var next [][]platform.MachineID
+		for _, prefix := range frontier {
+			next = s.expand(prefix, next)
+			if sv.bud.stop.Load() {
+				return nil, 0
+			}
+		}
+		frontier = next
+		depth++
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return frontier, depth
+}
+
+// expand replays prefix, applies the same per-node pruning as dfs, and
+// appends every surviving child prefix to dst.
+func (s *searcher) expand(prefix []platform.MachineID, dst [][]platform.MachineID) [][]platform.MachineID {
+	if !s.meter.step() {
+		return dst
+	}
+	s.push(prefix)
+	defer s.pop(prefix)
+	k := len(prefix)
+	sharedP := s.shared.load()
+	if s.bnd != nil {
+		if lb := s.lowerBound(k); lb >= s.bestPeriod || lb > sharedP {
+			return dst
+		}
+	}
+	i := s.order[k]
+	ty := s.in.App.Type(i)
+	demand, _ := s.ev.Demand(i)
+	for u := 0; u < s.m; u++ {
+		mu := platform.MachineID(u)
+		if !s.feasible(u, ty) || s.dominated(u) {
+			continue
+		}
+		xi := demand * s.in.Failures.Inflation(i, mu)
+		newLoad := s.load[u] + xi*s.in.Platform.Time(i, mu)
+		if newLoad >= s.bestPeriod || newLoad > sharedP {
+			continue
+		}
+		child := make([]platform.MachineID, k+1)
+		copy(child, prefix)
+		child[k] = mu
+		dst = append(dst, child)
+	}
+	return dst
+}

@@ -1,0 +1,237 @@
+// Differential proof harness for the parallel root split: across a mixed
+// corpus (all three rules, chains and in-trees, symmetric and
+// heterogeneous platforms), the parallel search must return byte-identical
+// results to the sequential one for every worker count. Run it under
+// -race to also exercise the shared budget/incumbent synchronization (the
+// CI race job does).
+package exact
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"microfab/internal/core"
+	"microfab/internal/gen"
+)
+
+// differentialCorpus draws the instances the parallel solver is gated on:
+// >= 50 instances mixing shapes, platforms and rules. Each case carries
+// the rule it is solved under (one-to-one cases keep n <= m).
+type corpusCase struct {
+	name string
+	in   *core.Instance
+	rule core.Rule
+}
+
+func differentialCorpus(t testing.TB) []corpusCase {
+	t.Helper()
+	var cs []corpusCase
+	add := func(name string, in *core.Instance, err error, rule core.Rule) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cs = append(cs, corpusCase{name, in, rule})
+	}
+	rules := []core.Rule{core.Specialized, core.GeneralRule, core.OneToOne}
+	// Heterogeneous chains, all rules (one-to-one keeps n <= m).
+	for seed := int64(0); seed < 12; seed++ {
+		rule := rules[seed%3]
+		n, m := 8, 4
+		if rule == core.OneToOne {
+			n, m = 5, 6
+		}
+		in, err := gen.Chain(gen.Default(n, 3, m), gen.RNG(9000+seed))
+		add("het-chain", in, err, rule)
+	}
+	// Heterogeneous in-trees.
+	for seed := int64(0); seed < 12; seed++ {
+		rule := rules[seed%3]
+		n, m := 8, 4
+		if rule == core.OneToOne {
+			n, m = 5, 6
+		}
+		in, err := gen.InTree(gen.Default(n, 3, m), 2+int(seed%2), gen.RNG(9100+seed))
+		add("het-intree", in, err, rule)
+	}
+	// Symmetric platforms (duplicated machine columns), both failure
+	// regimes; dominance and bound interplay is strongest here.
+	for seed := int64(0); seed < 14; seed++ {
+		rule := rules[seed%3]
+		n, m, dist := 8, 6, 1+int(seed%3)
+		if rule == core.OneToOne {
+			n = 6
+		}
+		fmax := 0.02
+		if seed%2 == 1 {
+			fmax = 0.1
+		}
+		cs = append(cs, corpusCase{"sym-chain",
+			symmetricInstanceF(t, n, 2, m, dist, 0.005, fmax, 9200+seed), rule})
+	}
+	// A few larger specialized cases to stress the frontier split depth.
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := gen.Chain(gen.Default(10, 3, 5), gen.RNG(9300+seed))
+		add("wide-chain", in, err, core.Specialized)
+	}
+	// Warm-started cases: the incumbent path must stay deterministic too.
+	for seed := int64(0); seed < 6; seed++ {
+		in, err := gen.InTree(gen.Default(9, 3, 4), 2, gen.RNG(9400+seed))
+		add("warm-intree", in, err, core.Specialized)
+	}
+	return cs
+}
+
+// TestExactParallelDifferential: Workers=2,4,8 must return byte-identical
+// period, Proven flag and mapping vs the sequential search on the full
+// corpus.
+func TestExactParallelDifferential(t *testing.T) {
+	corpus := differentialCorpus(t)
+	if len(corpus) < 50 {
+		t.Fatalf("corpus has %d instances, the gate requires >= 50", len(corpus))
+	}
+	for ci, c := range corpus {
+		opts := Options{Rule: c.rule, MaxNodes: 4_000_000}
+		if c.name == "warm-intree" {
+			// Seed the incumbent with a feasible mapping (the sequential
+			// result of a tiny budget run is fine: determinism must hold
+			// for any warm start as long as the search proves).
+			warm, err := Solve(c.in, Options{Rule: c.rule, MaxNodes: 500})
+			if err == nil {
+				opts.Incumbent = warm.Mapping
+			}
+		}
+		seq, err := Solve(c.in, opts)
+		if err != nil {
+			t.Fatalf("%s[%d]: sequential: %v", c.name, ci, err)
+		}
+		if !seq.Proven {
+			t.Fatalf("%s[%d]: sequential search unproven (%d nodes); enlarge the budget or shrink the case",
+				c.name, ci, seq.Nodes)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par, err := Solve(c.in, optsWithWorkers(opts, workers))
+			if err != nil {
+				t.Fatalf("%s[%d] workers=%d: %v", c.name, ci, workers, err)
+			}
+			if par.Proven != seq.Proven {
+				t.Fatalf("%s[%d] workers=%d: proven %v, sequential %v", c.name, ci, workers, par.Proven, seq.Proven)
+			}
+			if math.Float64bits(par.Period) != math.Float64bits(seq.Period) {
+				t.Fatalf("%s[%d] workers=%d: period %v (bits %x), sequential %v (bits %x)",
+					c.name, ci, workers, par.Period, math.Float64bits(par.Period), seq.Period, math.Float64bits(seq.Period))
+			}
+			if par.Mapping.String() != seq.Mapping.String() {
+				t.Fatalf("%s[%d] workers=%d: mapping diverged:\n  par %v\n  seq %v",
+					c.name, ci, workers, par.Mapping, seq.Mapping)
+			}
+		}
+	}
+}
+
+func optsWithWorkers(o Options, w int) Options {
+	o.Workers = w
+	return o
+}
+
+// TestParallelNodeBudgetGlobal: MaxNodes is one shared pool, not a
+// per-worker allowance — a parallel run must consume at most MaxNodes
+// nodes in total and still return its best incumbent with Proven=false.
+func TestParallelNodeBudgetGlobal(t *testing.T) {
+	in := symmetricInstanceF(t, 16, 2, 8, 4, 0.005, 0.05, 77)
+	const budget = 30_000
+	for _, workers := range []int{1, 4, 8} {
+		res, err := Solve(in, Options{
+			Rule:         core.Specialized,
+			MaxNodes:     budget,
+			Workers:      workers,
+			DisableBound: true, // keep the search big enough to exhaust the budget
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Proven {
+			t.Fatalf("workers=%d: claimed proven under a %d-node budget", workers, budget)
+		}
+		if res.Mapping == nil {
+			t.Fatalf("workers=%d: stopped search returned no incumbent", workers)
+		}
+		if err := res.Mapping.CheckRule(in.App, core.Specialized); err != nil {
+			t.Fatalf("workers=%d: stopped incumbent breaks the rule: %v", workers, err)
+		}
+		if p := core.Period(in, res.Mapping); math.Float64bits(p) != math.Float64bits(res.Period) {
+			t.Fatalf("workers=%d: reported period %v, mapping prices to %v", workers, res.Period, p)
+		}
+		if res.Nodes > budget {
+			t.Fatalf("workers=%d: consumed %d nodes, budget was %d — the pool is not global", workers, res.Nodes, budget)
+		}
+		if res.Nodes < budget/2 {
+			t.Fatalf("workers=%d: consumed only %d of %d nodes yet stopped unproven", workers, res.Nodes, budget)
+		}
+	}
+}
+
+// TestParallelTimeLimitStops: a deadline must interrupt all workers and
+// still surface the best incumbent found, with Proven=false.
+func TestParallelTimeLimitStops(t *testing.T) {
+	in := symmetricInstanceF(t, 20, 2, 9, 3, 0, 0.1, 1804)
+	start := time.Now()
+	res, err := Solve(in, Options{
+		Rule:         core.Specialized,
+		TimeLimit:    30 * time.Millisecond,
+		Workers:      4,
+		DisableBound: true, // the bound would prove this instance quickly
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proven {
+		t.Fatalf("claimed proven under a 30ms limit (%d nodes)", res.Nodes)
+	}
+	if res.Mapping == nil {
+		t.Fatal("stopped search returned no incumbent")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+}
+
+// TestParallelWarmOptimalIncumbent: when the warm start is already
+// optimal, every worker count must return exactly that mapping, proven.
+func TestParallelWarmOptimalIncumbent(t *testing.T) {
+	in, err := gen.Chain(gen.Default(8, 3, 4), gen.RNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Solve(in, Options{Rule: core.Specialized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		warm, err := Solve(in, Options{Rule: core.Specialized, Incumbent: free.Mapping, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Proven {
+			t.Fatalf("workers=%d: warm-started search unproven", workers)
+		}
+		if math.Float64bits(warm.Period) != math.Float64bits(free.Period) {
+			t.Fatalf("workers=%d: warm %v != cold %v", workers, warm.Period, free.Period)
+		}
+		if warm.Mapping.String() != free.Mapping.String() {
+			t.Fatalf("workers=%d: warm mapping diverged from the optimal incumbent", workers)
+		}
+	}
+}
+
+// TestParallelInfeasible: error contracts survive the root split.
+func TestParallelInfeasible(t *testing.T) {
+	in, err := gen.Chain(gen.Default(5, 2, 3), gen.RNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(in, Options{Rule: core.OneToOne, Workers: 4}); err == nil {
+		t.Fatal("n > m one-to-one accepted by the parallel path")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package exact
+
+// raceEnabled reports whether the race detector instruments this build;
+// slow exhaustion checks scale their budgets down under it.
+const raceEnabled = true

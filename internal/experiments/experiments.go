@@ -62,8 +62,17 @@ type Config struct {
 	// MIPTimeLimit bounds each exact solve (0 = 10s).
 	MIPTimeLimit time.Duration
 	// MIPMaxNodes bounds each exact solve's search (0 = 100000). Unlike
-	// the wall-clock limit, a binding node budget is deterministic.
+	// the wall-clock limit, a binding node budget is deterministic for a
+	// sequential solve; with ExactWorkers > 1 a *binding* node budget may
+	// stop the DFS burst at a different incumbent per run (proven bursts
+	// stay byte-identical for any worker count).
 	MIPMaxNodes int
+	// ExactWorkers is the worker count of each draw's exact DFS burst
+	// (0 or 1 = sequential). The campaign already fans draws out over
+	// Workers goroutines, so raising this mainly helps campaigns whose
+	// draw count is small next to the CPU count — exact campaigns pushing
+	// single large instances past the paper's n <= 15 regime.
+	ExactWorkers int
 	// Workers is the number of goroutines computing draws concurrently
 	// (0 = runtime.GOMAXPROCS(0); 1 = sequential). Any value yields the
 	// same series for the same Seed, except when a wall-clock solver
@@ -566,6 +575,7 @@ func mipCampaign(cfg Config, id, title string, xs []int, m, p int, names []strin
 				Incumbent: warm,
 				MaxNodes:  int64(cfg.mipNodes()),
 				TimeLimit: cfg.mipTime() / 5,
+				Workers:   cfg.ExactWorkers,
 			}); err == nil && eres.Period < warmPeriod {
 				warm, warmPeriod = eres.Mapping, eres.Period
 			}

@@ -146,3 +146,37 @@ func TestWorkersExceedItems(t *testing.T) {
 		t.Fatal("no points")
 	}
 }
+
+// TestExactWorkersDeterministic: the per-draw exact DFS burst may fan out
+// over ExactWorkers goroutines; as long as the burst proves within its
+// node budget, the campaign must stay byte-identical to the sequential
+// burst for any worker count.
+func TestExactWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact solves are slow; skipped with -short")
+	}
+	// Thin keeps only the smallest x point so both the DFS burst and the
+	// MIP prove within the node budget — the regime where the determinism
+	// contract holds (a budget-stopped parallel burst may stop at a
+	// different incumbent; see Config.MIPMaxNodes).
+	base := Config{
+		Draws: 4, Thin: 14, Seed: 5,
+		MIPTimeLimit: 60 * time.Second, MIPMaxNodes: 5000,
+	}
+	seq := base
+	seq.ExactWorkers = 1
+	par := base
+	par.ExactWorkers = 4
+
+	a, err := Fig11(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig11(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ExactWorkers=1 and ExactWorkers=4 diverge:\n%s\nvs\n%s", Render(a), Render(b))
+	}
+}

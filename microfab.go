@@ -26,6 +26,7 @@ package microfab
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -87,6 +88,12 @@ type (
 	ExpConfig = experiments.Config
 	// ExpResult is one regenerated figure.
 	ExpResult = experiments.Result
+	// ExactOptions configures the DFS branch and bound (rule, budgets,
+	// warm start, Workers for the parallel root split, ablation switches).
+	ExactOptions = exact.Options
+	// ExactResult is the branch and bound outcome: mapping, period, the
+	// Proven flag and the explored node count.
+	ExactResult = exact.Result
 )
 
 // Mapping rules (paper §4.2).
@@ -186,9 +193,10 @@ func solveMIP(in *Instance, _ int64) (*Mapping, error) {
 }
 
 func solveExact(in *Instance, _ int64) (*Mapping, error) {
-	res, err := exact.Solve(in, exact.Options{
+	res, err := SolveExact(in, ExactOptions{
 		Rule:      core.Specialized,
 		TimeLimit: 30 * time.Second,
+		Workers:   runtime.GOMAXPROCS(0),
 	})
 	if err != nil {
 		return nil, err
@@ -197,6 +205,16 @@ func solveExact(in *Instance, _ int64) (*Mapping, error) {
 		return nil, fmt.Errorf("microfab: exact search budget exhausted with no solution")
 	}
 	return res.Mapping, nil
+}
+
+// SolveExact runs the DFS branch and bound with full control over its
+// options: rule, node/time budgets, warm-start incumbent, the parallel
+// root split (Workers), and the pruning ablations. Proven results are
+// byte-identical for any worker count; see exact.Options for the budget
+// caveats. Solve("exact") is the convenience form (Specialized rule, 30s
+// budget, all CPUs).
+func SolveExact(in *Instance, opts ExactOptions) (*ExactResult, error) {
+	return exact.Solve(in, opts)
 }
 
 func solveOTO(in *Instance, _ int64) (*Mapping, error) {
@@ -242,7 +260,8 @@ func solveAnneal(in *Instance, seed int64) (*Mapping, error) {
 //
 // Methods: the heuristics "H1".."H4f" and "H2r" (specialized rule); "MIP"
 // — the exact mixed-integer program, warm-started with H4w, 30 s budget;
-// "exact" — the DFS branch and bound, 30 s budget; "oto" — the optimal
+// "exact" — the DFS branch and bound (lower-bound pruned, parallel over
+// all CPUs, 30 s budget; use SolveExact for full control); "oto" — the optimal
 // one-to-one mapping (requires task-only failures or a homogeneous
 // platform chain); "oto-greedy" — the polynomial one-to-one fallback;
 // "ls" — hill climbing from an H4w seed; "anneal" — simulated annealing

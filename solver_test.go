@@ -195,3 +195,39 @@ func TestPolishErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSolveExactFacade: the full-control exact entry point — rule
+// selection, worker fan-out, and the byte-identical contract between
+// worker counts on a proven search.
+func TestSolveExactFacade(t *testing.T) {
+	in, err := microfab.GenerateChain(microfab.CampaignParams(9, 3, 4), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := microfab.SolveExact(in, microfab.ExactOptions{Rule: microfab.Specialized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Proven {
+		t.Fatalf("sequential search unproven after %d nodes", seq.Nodes)
+	}
+	par, err := microfab.SolveExact(in, microfab.ExactOptions{Rule: microfab.Specialized, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Proven || par.Period != seq.Period || par.Mapping.String() != seq.Mapping.String() {
+		t.Fatalf("Workers=4 diverged: proven=%v period %v vs %v", par.Proven, par.Period, seq.Period)
+	}
+	if err := par.Mapping.CheckRule(in.App, microfab.Specialized); err != nil {
+		t.Fatal(err)
+	}
+	// The general rule relaxes specialization, so its optimum can only be
+	// at least as good.
+	gen, err := microfab.SolveExact(in, microfab.ExactOptions{Rule: microfab.General, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Period > seq.Period+1e-9 {
+		t.Fatalf("general-rule optimum %v worse than specialized %v", gen.Period, seq.Period)
+	}
+}
