@@ -1,0 +1,127 @@
+// Command mfbench converts `go test -bench` text output into a
+// machine-readable JSON report, so CI can archive the performance
+// trajectory of the hot loops (core Assign/Swap pricing, exact-solver
+// nodes/s, search probes/s) as a build artifact instead of a log line
+// humans have to diff by eye.
+//
+// Usage:
+//
+//	go test -run='^$' -bench . -benchtime 1x ./... | mfbench -out BENCH.json
+//	mfbench < bench.txt                  # JSON on stdout
+//	mfbench -label pr5 < bench.txt
+//
+// Every `BenchmarkName-P  N  <value> <unit> ...` line becomes one entry
+// with the iteration count and a unit -> value map covering ns/op, B/op,
+// allocs/op and any custom testing.B ReportMetric units (nodes/s,
+// probes/s, ...). Non-benchmark lines are ignored, so the whole `go test`
+// stream can be piped through verbatim. Exits non-zero when no benchmark
+// lines were found — an empty artifact means the bench step silently
+// broke.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the benchmark (sub)name with the -P GOMAXPROCS suffix
+	// stripped: "BenchmarkSwapKernel/adjacent_n=120".
+	Name string `json:"name"`
+	// Iters is the measured iteration count.
+	Iters int64 `json:"iters"`
+	// Metrics maps unit -> value: {"ns/op": 3301, "nodes/s": 5.6e6}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Schema string `json:"schema"`
+	// Label tags the run (e.g. a PR number or git ref); -label sets it.
+	Label string `json:"label,omitempty"`
+	// GeneratedAt is the RFC 3339 build time.
+	GeneratedAt string  `json:"generated_at"`
+	Benchmarks  []Entry `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkX/sub-8   123   456 ns/op   7 B/op ...":
+// name, iterations, then the metric tail.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	label := flag.String("label", "", "optional run label recorded in the report")
+	flag.Parse()
+
+	report := Report{
+		Schema:      "microfab-bench/v1",
+		Label:       *label,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		metrics := parseMetrics(m[3])
+		if len(metrics) == 0 {
+			continue
+		}
+		report.Benchmarks = append(report.Benchmarks, Entry{
+			Name:    m[1],
+			Iters:   iters,
+			Metrics: metrics,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mfbench: read stdin:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "mfbench: no benchmark lines on stdin (did the bench step run with -bench?)")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mfbench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+}
+
+// parseMetrics reads the "<value> <unit>" pairs of a benchmark line tail.
+func parseMetrics(tail string) map[string]float64 {
+	fields := strings.Fields(tail)
+	metrics := make(map[string]float64, len(fields)/2)
+	for k := 0; k+1 < len(fields); k += 2 {
+		v, err := strconv.ParseFloat(fields[k], 64)
+		if err != nil {
+			return nil // malformed tail: not a benchmark line after all
+		}
+		metrics[fields[k+1]] = v
+	}
+	return metrics
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestBenchLineParsing(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ok   bool
+	}{
+		{"BenchmarkExactSolveEvaluator \t 253022 \t 9910 ns/op \t 5045648 nodes/s", "BenchmarkExactSolveEvaluator", true},
+		{"BenchmarkSwapKernel/adjacent_n=120-8   179839   3301 ns/op   0 B/op   0 allocs/op", "BenchmarkSwapKernel/adjacent_n=120", true},
+		{"ok  \tmicrofab/internal/core\t9.262s", "", false},
+		{"PASS", "", false},
+		{"goos: linux", "", false},
+	}
+	for _, c := range cases {
+		m := benchLine.FindStringSubmatch(c.line)
+		if (m != nil) != c.ok {
+			t.Fatalf("%q: matched=%v, want %v", c.line, m != nil, c.ok)
+		}
+		if m == nil {
+			continue
+		}
+		if m[1] != c.name {
+			t.Fatalf("%q: name %q, want %q", c.line, m[1], c.name)
+		}
+		metrics := parseMetrics(m[3])
+		if len(metrics) == 0 {
+			t.Fatalf("%q: no metrics parsed", c.line)
+		}
+		if _, ok := metrics["ns/op"]; !ok {
+			t.Fatalf("%q: ns/op missing from %v", c.line, metrics)
+		}
+	}
+	// The GOMAXPROCS suffix must be stripped but an inline -8 in a
+	// subbenchmark name must survive.
+	m := benchLine.FindStringSubmatch("BenchmarkX/m=-8/case-16  10  5 ns/op")
+	if m == nil || m[1] != "BenchmarkX/m=-8/case" {
+		t.Fatalf("suffix handling broke: %v", m)
+	}
+	if got := parseMetrics("12 ns/op garbage"); got == nil || len(got) != 1 {
+		t.Fatalf("odd-field tail should keep complete pairs, got %v", got)
+	}
+	if got := parseMetrics("not-a-number ns/op"); got != nil {
+		t.Fatalf("malformed tail accepted: %v", got)
+	}
+}

@@ -13,7 +13,10 @@
 //
 // -polish refines every heuristic mapping with a bounded local-search
 // post-pass (ls = hill climbing, anneal = simulated annealing) before the
-// series are priced; -polish-budget bounds each pass.
+// series are priced; -polish-budget bounds each pass. Annealing auto-tunes
+// its starting temperature from each draw's own period scale (acceptance-
+// ratio targeting), so the same -polish anneal flags work across figures
+// whose periods differ by orders of magnitude — no per-figure tweaking.
 //
 // Campaigns are deterministic for a given -seed, whatever -workers is —
 // including polished campaigns, which derive one RNG stream per (draw,

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"microfab/internal/app"
+	"microfab/internal/platform"
+)
+
+// Pricer is the pricing-only sibling of Evaluator, built for the one
+// mutation pattern the exact branch and bound actually performs: root-first
+// assignment with strict LIFO backtracking. Where Evaluator carries the
+// machinery every consumer might need — compensated per-machine sums, the
+// exact-zero reset, a lazily-flushed tournament tree for the maximum, and
+// the in-tree prefix walks that let tasks be (un)assigned in any order — a
+// Pricer keeps only a flat per-machine load array and a running maximum,
+// both maintained by saving the previous value at Assign time and restoring
+// it bit-exactly at Unassign time. Two consequences:
+//
+//   - every load (and the maximum) is a *pure function of the current
+//     partial assignment*: the restore puts the exact prior bits back, so a
+//     node reached by descending and a node reached by replaying its prefix
+//     price identically. This is the property that makes the parallel root
+//     split of internal/exact byte-identical for any worker count, and it is
+//     the one thing the ledger-backed Evaluator cannot offer (a compensated
+//     sum's last ulp depends on its charge/discharge history);
+//   - Assign and Unassign are branch-free O(1): one multiply-add, two saves,
+//     no ledger, no dirty list, no tree. The maximum is read in O(1) at any
+//     node (Max), against the Evaluator's O(log m)-amortized flush.
+//
+// The price of the leanness is a usage discipline, checked where cheap and
+// documented where not:
+//
+//   - root-first: Assign(i, u) requires i's successor to be assigned
+//     already (or i to be the root), so that x[i] is final the moment i is
+//     placed — exactly the reverse-topological order every solver in this
+//     repository walks;
+//   - LIFO: Unassign must undo the most recent not-yet-undone Assign of its
+//     machine. Unassigning in exact reverse assignment order (a search
+//     stack's natural pop order) always satisfies this. Violating it leaves
+//     the restored load stale; the differential corpus in pricer_test.go
+//     and the exact solver's cross-checks gate the discipline.
+//
+// A Pricer is not safe for concurrent use; give each goroutine its own
+// (Clone, or a fresh NewPricer replayed with the worker's prefix).
+type Pricer struct {
+	in *Instance
+	m  int
+
+	assign []platform.MachineID
+	x      []float64 // x[i] when assigned, 0 otherwise
+
+	load      []float64 // per-machine load, pure function of the assignment
+	savedLoad []float64 // load[a(i)] just before i's contribution
+	savedMax  []float64 // the running maximum just before i's assignment
+	max       float64
+
+	// infl caches F(i,u) = 1/(1-f[i][u]) row-major: the failure matrix
+	// recomputes the division on every Inflation call, which a hot loop
+	// paying one per node can feel. Cached bits are identical to the
+	// recomputed ones, so pricing is unchanged.
+	infl []float64
+
+	nAssigned int
+}
+
+// NewPricer returns a Pricer over the instance with every task unassigned.
+func NewPricer(in *Instance) *Pricer {
+	n, m := in.N(), in.M()
+	p := &Pricer{
+		in:        in,
+		m:         m,
+		assign:    make([]platform.MachineID, n),
+		x:         make([]float64, n),
+		load:      make([]float64, m),
+		savedLoad: make([]float64, n),
+		savedMax:  make([]float64, n),
+		infl:      InflationTable(in),
+	}
+	for i := range p.assign {
+		p.assign[i] = platform.NoMachine
+	}
+	return p
+}
+
+// InflationTable returns F(i,u) = 1/(1-f[i][u]) for every couple, row-major
+// (index i·m + u) — the cached form hot search loops read instead of
+// re-dividing per call. The cached bits are exactly Failures.Inflation's.
+func InflationTable(in *Instance) []float64 {
+	n, m := in.N(), in.M()
+	t := make([]float64, n*m)
+	for i := 0; i < n; i++ {
+		for u := 0; u < m; u++ {
+			t[i*m+u] = in.Failures.Inflation(app.TaskID(i), platform.MachineID(u))
+		}
+	}
+	return t
+}
+
+// Clone returns an independent Pricer with the same assignment path state.
+// Mutating either copy never affects the other (the underlying Instance is
+// immutable and stays shared).
+func (p *Pricer) Clone() *Pricer {
+	return &Pricer{
+		in:        p.in,
+		m:         p.m,
+		assign:    append([]platform.MachineID(nil), p.assign...),
+		x:         append([]float64(nil), p.x...),
+		load:      append([]float64(nil), p.load...),
+		savedLoad: append([]float64(nil), p.savedLoad...),
+		savedMax:  append([]float64(nil), p.savedMax...),
+		max:       p.max,
+		infl:      p.infl, // read-only, shared
+		nAssigned: p.nAssigned,
+	}
+}
+
+// Reset returns the Pricer to the all-unassigned state.
+func (p *Pricer) Reset() {
+	for i := range p.assign {
+		p.assign[i] = platform.NoMachine
+		p.x[i] = 0
+	}
+	for u := range p.load {
+		p.load[u] = 0
+	}
+	p.max = 0
+	p.nAssigned = 0
+}
+
+// Len returns the number of tasks covered.
+func (p *Pricer) Len() int { return len(p.assign) }
+
+// Complete reports whether every task is assigned.
+func (p *Pricer) Complete() bool { return p.nAssigned == len(p.assign) }
+
+// Machine returns a(i), or platform.NoMachine when unassigned.
+func (p *Pricer) Machine(i app.TaskID) platform.MachineID { return p.assign[i] }
+
+// X returns the product count of task i (0 when unassigned). Under the
+// root-first discipline an assigned task's x is always final, matching
+// PartialProductCounts on the snapshot mapping.
+func (p *Pricer) X(i app.TaskID) float64 { return p.x[i] }
+
+// Load returns the current load of machine u.
+func (p *Pricer) Load(u platform.MachineID) float64 { return p.load[u] }
+
+// Loads returns a copy of the per-machine loads.
+func (p *Pricer) Loads() []float64 { return append([]float64(nil), p.load...) }
+
+// Max returns the current maximum machine load in O(1).
+func (p *Pricer) Max() float64 { return p.max }
+
+// Best returns the maximum machine load and the smallest machine attaining
+// it (platform.NoMachine while every load is zero), matching Evaluator's
+// tie-break. Unlike Max it scans the machines: callers inside a hot loop
+// that only need the value should read Max.
+func (p *Pricer) Best() (float64, platform.MachineID) {
+	if p.max <= 0 {
+		return 0, platform.NoMachine
+	}
+	for u, l := range p.load {
+		if l == p.max {
+			return p.max, platform.MachineID(u)
+		}
+	}
+	return p.max, platform.NoMachine
+}
+
+// Demand returns the product count required downstream of task i —
+// x[succ(i)], or 1 at the root — and whether it is known (the successor is
+// assigned). Matches Evaluator.Demand.
+func (p *Pricer) Demand(i app.TaskID) (float64, bool) {
+	s := p.in.App.Successor(i)
+	if s == app.NoTask {
+		return 1, true
+	}
+	if p.assign[s] == platform.NoMachine {
+		return 0, false
+	}
+	return p.x[s], true
+}
+
+// Trial returns the load machine u would reach if it also carried task i,
+// without mutating anything. The second result is false when i's downstream
+// demand is unknown (successor unassigned), in which case the load returned
+// is meaningless. Assigning i to u right after a successful Trial lands u
+// on exactly the returned bits.
+func (p *Pricer) Trial(i app.TaskID, u platform.MachineID) (float64, bool) {
+	d, ok := p.Demand(i)
+	if !ok {
+		return 0, false
+	}
+	xi := d * p.infl[int(i)*p.m+int(u)]
+	return p.load[u] + xi*p.in.Platform.Time(i, u), true
+}
+
+// Assign sets a(i) = u, pricing exactly task i (its feeders are unassigned
+// under the root-first discipline) and saving the touched machine's load
+// and the running maximum for the bit-exact restore in Unassign. It errors
+// when i or u is out of range, when i is already assigned (the Pricer has
+// no move semantics — Unassign first), or when i's successor is unassigned
+// (root-first violation: x[i] would not be final).
+func (p *Pricer) Assign(i app.TaskID, u platform.MachineID) error {
+	if int(i) < 0 || int(i) >= len(p.assign) {
+		return fmt.Errorf("core: task %d out of range [0,%d)", int(i), len(p.assign))
+	}
+	if int(u) < 0 || int(u) >= len(p.load) {
+		return fmt.Errorf("core: machine %d out of range [0,%d)", int(u), len(p.load))
+	}
+	if p.assign[i] != platform.NoMachine {
+		return fmt.Errorf("core: pricer: task %d already assigned (LIFO discipline: Unassign first)", int(i))
+	}
+	d := 1.0
+	if s := p.in.App.Successor(i); s != app.NoTask {
+		if p.assign[s] == platform.NoMachine {
+			return fmt.Errorf("core: pricer: task %d assigned before its successor %d (root-first discipline)", int(i), int(s))
+		}
+		d = p.x[s]
+	}
+	xi := d * p.infl[int(i)*p.m+int(u)]
+	p.savedLoad[i] = p.load[u]
+	p.savedMax[i] = p.max
+	nl := p.load[u] + xi*p.in.Platform.Time(i, u)
+	p.load[u] = nl
+	if nl > p.max {
+		p.max = nl
+	}
+	p.x[i] = xi
+	p.assign[i] = u
+	p.nAssigned++
+	return nil
+}
+
+// Unassign clears task i's machine, restoring its machine's load and the
+// running maximum to the exact bits they held before i's Assign. A no-op
+// when i is already unassigned. i must be the most recent not-yet-undone
+// Assign (see the LIFO discipline above).
+func (p *Pricer) Unassign(i app.TaskID) {
+	if int(i) < 0 || int(i) >= len(p.assign) {
+		return
+	}
+	u := p.assign[i]
+	if u == platform.NoMachine {
+		return
+	}
+	p.load[u] = p.savedLoad[i]
+	p.max = p.savedMax[i]
+	p.x[i] = 0
+	p.assign[i] = platform.NoMachine
+	p.nAssigned--
+}
+
+// Mapping returns an independent snapshot of the current allocation.
+func (p *Pricer) Mapping() *Mapping { return FromSlice(p.assign) }

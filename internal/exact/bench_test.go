@@ -24,8 +24,10 @@ func benchInstance(b *testing.B) *core.Instance {
 
 // BenchmarkExactSolveEvaluator measures the production solver: the DFS
 // branch and bound with pricing, loads and the running maximum maintained
-// incrementally by core.Evaluator. Nodes per second is the metric that
-// matters for proving optimality on larger instances.
+// by the pricing-only core.Pricer (the name keeps the historical series
+// comparable — the solver priced through the full core.Evaluator until the
+// pricing-core refactor). Nodes per second is the metric that matters for
+// proving optimality on larger instances.
 func BenchmarkExactSolveEvaluator(b *testing.B) {
 	in := benchInstance(b)
 	var nodes int64

@@ -87,10 +87,16 @@ const sumSlack = 1 - 1e-12
 // lowerBound returns an admissible lower bound on the period of any
 // completion of the current node (order[0..k) placed). O((n-k)·m) plus
 // the water-filling pass under the Specialized rule.
-func (s *searcher) lowerBound(k int) float64 {
+//
+// localBest and sharedP are the caller's pruning thresholds: the bound
+// only ever grows while it accumulates, so the moment it crosses one
+// (lb >= localBest or lb > sharedP) the caller will prune whatever the
+// final value would have been, and lowerBound returns early. Callers that
+// need the full bound value pass +Inf twice (see boundAt in the tests).
+func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 	n := len(s.order)
-	lb := s.maxLoad()
-	if k == n {
+	lb := s.pr.Max()
+	if k == n || lb >= localBest || lb > sharedP {
 		return lb
 	}
 	b := s.bnd
@@ -105,13 +111,13 @@ func (s *searcher) lowerBound(k int) float64 {
 		}
 		for j := 0; j < k; j++ {
 			i := s.order[j]
-			c := s.ev.X(i) * s.in.Platform.Time(i, s.ev.Machine(i))
+			c := s.pr.X(i) * s.in.Platform.Time(i, s.pr.Machine(i))
 			s.typeW[s.in.App.Type(i)] += c
 			total += c
 		}
 	} else {
-		for _, l := range s.load {
-			total += l
+		for u := 0; u < s.m; u++ {
+			total += s.pr.Load(platform.MachineID(u))
 		}
 	}
 	// Unplaced suffix: propagate demand lower bounds root-first. order is
@@ -128,7 +134,7 @@ func (s *searcher) lowerBound(k int) float64 {
 		if succ := s.in.App.Successor(i); succ == app.NoTask {
 			d = 1
 		} else if sp := b.pos[succ]; sp < k {
-			d = s.ev.X(succ)
+			d = s.pr.X(succ)
 		} else {
 			d = s.dlb[sp] * b.minInfl[succ]
 		}
@@ -140,18 +146,24 @@ func (s *searcher) lowerBound(k int) float64 {
 			s.typeW[ty] += c
 		}
 		land := math.Inf(1)
+		inflRow := s.infl[int(i)*s.m : (int(i)+1)*s.m]
+		wRow := s.in.Platform.Row(i)
 		for u := 0; u < s.m; u++ {
 			if !s.feasible(u, ty) {
 				continue
 			}
-			mu := platform.MachineID(u)
-			at := s.load[u] + d*s.in.Failures.Inflation(i, mu)*s.in.Platform.Time(i, mu)
+			at := s.pr.Load(platform.MachineID(u)) + d*inflRow[u]*wRow[u]
 			if at < land {
 				land = at
 			}
 		}
 		if land > maxTask {
 			maxTask = land
+			if maxTask >= localBest || maxTask > sharedP {
+				// Already enough to prune; the remaining ingredients could
+				// only raise the bound further.
+				return maxTask
+			}
 		}
 	}
 	if maxTask > lb {

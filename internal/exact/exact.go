@@ -7,13 +7,15 @@
 // The search walks tasks root-first (so x[i] is priced exactly as tasks are
 // placed, exactly like the heuristics) and prunes a branch as soon as the
 // maximum machine load reaches the incumbent period. Candidate pricing
-// lives in a core.Evaluator, whose Assign/Unassign push/pop keeps the
-// per-node cost at O(log m) instead of a full O(n·m) re-evaluation;
-// per-machine loads are additionally kept in a snapshot/restore array so
-// that every load is a pure function of the current partial assignment
-// (bit-exact across search orders — see searcher.load).
+// lives in a core.Pricer — the pricing-only evaluation mode built for
+// exactly this access pattern: per-machine loads and the running maximum
+// are maintained in O(1) per Assign/Unassign by saving and restoring the
+// previous bits, so every load is a pure function of the current partial
+// assignment (bit-exact across search orders — the property the parallel
+// root split's determinism proof rests on) and the per-node cost carries
+// none of the full Evaluator's ledger or tournament-tree machinery.
 //
-// Two pruning rules shrink the tree beyond the incumbent test:
+// Three pruning/ordering rules shrink the tree beyond the incumbent test:
 //
 //   - A dominance rule breaks machine symmetry: machines with identical
 //     execution-time and failure columns (w[·][u] == w[·][v] and
@@ -26,11 +28,24 @@
 //     — never exceeds the best completion of the node, so a node whose
 //     bound reaches the incumbent is pruned without visiting its subtree
 //     (Options.DisableBound ablates).
+//   - A best-first child order plus a greedy restart dive: before the
+//     systematic pass, one un-metered greedy descent (take the feasible
+//     machine with the smallest resulting load at every depth — the H4
+//     greedy run inside the search's own pruning rules) seeds the
+//     incumbent, so even a budget-starved cold search returns a
+//     near-optimal mapping; the search itself then visits every node's
+//     surviving children loaded-machines-first by ascending would-be load
+//     (each child's load is an admissible bound on its subtree), deferring
+//     the still-empty machines whose subtrees are refuted last. The order
+//     is a pure function of the node, so it composes with the parallel
+//     determinism argument below (Options.DisableOrder ablates;
+//     Options.WarmStart additionally seeds the incumbent with the H4w
+//     heuristic).
 //
 // Options.Workers > 1 runs the search as a parallel root split
 // (parallel.go): the assignment frontier is enumerated to a small depth and
 // the subtrees fan out over a worker pool sharing one atomic incumbent and
-// one atomic node budget, each worker owning a cloned core.Evaluator.
+// one atomic node budget, each worker owning a private core.Pricer.
 // Proven results are byte-identical for any worker count; only Result.Nodes
 // varies.
 package exact
@@ -43,6 +58,7 @@ import (
 
 	"microfab/internal/app"
 	"microfab/internal/core"
+	"microfab/internal/heuristics"
 	"microfab/internal/platform"
 )
 
@@ -59,6 +75,12 @@ type Options struct {
 	TimeLimit time.Duration
 	// Incumbent optionally warm-starts the bound.
 	Incumbent *core.Mapping
+	// WarmStart seeds the incumbent with the H4w heuristic when its
+	// mapping satisfies the rule (it always does under Specialized and
+	// General), so a budgeted cold search returns a near-optimal
+	// incumbent even when interrupted early. Composes with Incumbent:
+	// the better of the two bounds the search.
+	WarmStart bool
 	// DisableDominance turns the machine-symmetry dominance rule off
 	// (identical w/f columns), for ablations and node-count tests. The
 	// optimum is unaffected either way.
@@ -66,6 +88,12 @@ type Options struct {
 	// DisableBound turns the admissible per-node lower bound off, for
 	// ablations and node-count tests. The optimum is unaffected either way.
 	DisableBound bool
+	// DisableOrder turns the best-first child order and the greedy restart
+	// dive off — children branch in ascending machine order like the
+	// pre-ordering solver and the first incumbent is whatever the first
+	// DFS leaf happens to be — for ablations and node-count tests. The
+	// optimum is unaffected either way.
+	DisableOrder bool
 	// Workers fans the search out over a pool of goroutines via a root
 	// split (0 or 1 = sequential; see parallel.go). Proven results are
 	// byte-identical for any worker count. A search stopped by MaxNodes
@@ -107,10 +135,11 @@ type solver struct {
 	rule    core.Rule
 	order   []app.TaskID
 	classOf []int
+	infl    []float64 // cached F(i,u), row-major (core.InflationTable)
 	noSym   bool
+	noOrder bool
 	bnd     *bounder
 	bud     *budget
-	baseEv  *core.Evaluator
 
 	warmPeriod float64
 	warm       *core.Mapping
@@ -127,21 +156,30 @@ type searcher struct {
 
 	spec []app.TypeID // Specialized bookkeeping (-1 free)
 	used []bool       // OneToOne bookkeeping
-	ev   *core.Evaluator
+
+	// pr prices the partial assignment: per-machine loads and the running
+	// maximum, O(1) per push/pop, every value a pure function of the
+	// current partial assignment (bit-exact across search orders — the
+	// property that makes parallel and sequential searches byte-identical).
+	pr *core.Pricer
 
 	// Machine-symmetry dominance: classOf[u] indexes u's equal-column
-	// class; nOn counts tasks per machine on the current search path.
-	classOf []int
-	nOn     []int
-	noSym   bool
+	// class; nOn counts tasks per machine on the current search path;
+	// firstEmpty[c] is the smallest still-empty machine of class c (m when
+	// none), maintained by occupy/vacate so the dominance test is O(1).
+	classOf    []int
+	nOn        []int
+	firstEmpty []int
+	noSym      bool
 
-	// load[u] is the current period of machine u, maintained by saving the
-	// touched machine's previous value in the recursion frame and restoring
-	// it bit-exactly on unwind. Unlike the evaluator's compensated ledger
-	// sums (whose last ulp depends on the charge/discharge history), these
-	// loads are a pure function of the current partial assignment — the
-	// property that makes parallel and sequential searches byte-identical.
-	load []float64
+	// infl caches F(i,u) row-major, shared read-only across workers.
+	infl []float64
+
+	// cand backs the per-depth child gathering (depth k owns the slice
+	// cand[k·m : (k+1)·m]); noOrder ablates the best-first sort.
+	cand    []childCand
+	noOrder bool
+
 	// frames backs push/pop prefix replays (parallel root split).
 	frames []frame
 
@@ -163,11 +201,33 @@ type searcher struct {
 	meter nodeMeter
 }
 
-// frame saves the bookkeeping a prefix replay overwrites.
+// childCand is one surviving child of a node: the machine, the load it
+// would reach (an admissible bound on the child's whole subtree, re-tested
+// against the incumbents at visit time), and whether the machine is still
+// empty — the two-level sort key of the best-first order.
+type childCand struct {
+	load  float64
+	u     platform.MachineID
+	empty bool
+}
+
+// candBefore orders children for the best-first visit: loaded machines
+// before still-empty ones (opening a machine commits structure the
+// incumbent test refutes slowest, so those subtrees go last), then by
+// ascending would-be load; ties keep the ascending-machine gather order
+// (strict comparisons, stable insertion sort).
+func candBefore(a, b childCand) bool {
+	if a.empty != b.empty {
+		return !a.empty
+	}
+	return a.load < b.load
+}
+
+// frame saves the rule bookkeeping a prefix replay overwrites (the pricer
+// restores its own loads).
 type frame struct {
 	spec app.TypeID
 	used bool
-	load float64
 }
 
 const noType app.TypeID = -1
@@ -203,9 +263,10 @@ func newSolver(in *core.Instance, opts Options) (*solver, error) {
 		rule:       opts.Rule,
 		order:      in.App.ReverseTopological(),
 		classOf:    machineClasses(in),
+		infl:       core.InflationTable(in),
 		noSym:      opts.DisableDominance,
+		noOrder:    opts.DisableOrder,
 		bud:        newBudget(opts),
-		baseEv:     core.NewEvaluator(in),
 		warmPeriod: math.Inf(1),
 	}
 	if !opts.DisableBound {
@@ -227,7 +288,66 @@ func newSolver(in *core.Instance, opts Options) (*solver, error) {
 			}
 		}
 	}
+	if opts.WarmStart {
+		// H4w is deterministic (its rng parameter is unused) and produces
+		// Specialized mappings, valid under General too; under OneToOne it
+		// usually fails CheckRule and is skipped. A heuristic failure just
+		// means no free warm start.
+		if wm, err := heuristics.H4w(in, nil, heuristics.Options{}); err == nil &&
+			wm.CheckRule(in.App, opts.Rule) == nil {
+			if p, err := core.PeriodE(in, wm); err == nil && p < sv.warmPeriod {
+				sv.warmPeriod = p
+				sv.warm = wm
+			}
+		}
+	}
+	if !opts.DisableOrder {
+		sv.greedyDive()
+	}
 	return sv, nil
+}
+
+// greedyDive descends once from the root, taking at every depth the
+// feasible, non-dominated machine with the smallest resulting load — the
+// H4 greedy executed inside the search's own pruning rules — and seeds the
+// incumbent with the leaf when it beats the current warm start. The dive
+// is the restart component of the node order: even a budget-starved cold
+// search returns its near-optimal mapping, and the systematic pass starts
+// with a tight bound. It is un-metered (n pricer steps, like evaluating an
+// explicit Incumbent) and a pure function of the instance, so every worker
+// count sees the same seed and the parallel byte-identity is preserved. A
+// dead end (a task with no feasible machine mid-dive) just means no free
+// incumbent.
+func (sv *solver) greedyDive() {
+	s := sv.newSearcher(nil)
+	for k := range s.order {
+		i := s.order[k]
+		ty := s.in.App.Type(i)
+		demand, _ := s.pr.Demand(i)
+		inflRow := s.infl[int(i)*s.m : (int(i)+1)*s.m]
+		best, bestLoad := -1, math.Inf(1)
+		for u := 0; u < s.m; u++ {
+			mu := platform.MachineID(u)
+			if !s.feasible(u, ty) || s.dominated(u) {
+				continue
+			}
+			xi := demand * inflRow[u]
+			if newLoad := s.pr.Load(mu) + xi*s.in.Platform.Time(i, mu); newLoad < bestLoad {
+				best, bestLoad = u, newLoad
+			}
+		}
+		if best < 0 {
+			return
+		}
+		s.spec[best] = ty
+		s.used[best] = true
+		s.occupy(best)
+		_ = s.pr.Assign(i, platform.MachineID(best))
+	}
+	if p := s.pr.Max(); p < sv.warmPeriod {
+		sv.warmPeriod = p
+		sv.warm = s.pr.Mapping()
+	}
 }
 
 // finish packages a search outcome, mapping "nothing found" to the
@@ -245,7 +365,7 @@ func (sv *solver) finish(best *core.Mapping, period float64) (*Result, error) {
 }
 
 // newSearcher allocates one goroutine's search state over the solver's
-// shared tables, cloning the base evaluator (workers never share one).
+// shared tables, with a private pricer (workers never share one).
 func (sv *solver) newSearcher(shared *incumbent) *searcher {
 	n, m := sv.in.N(), sv.in.M()
 	s := &searcher{
@@ -255,11 +375,14 @@ func (sv *solver) newSearcher(shared *incumbent) *searcher {
 		m:          m,
 		spec:       make([]app.TypeID, m),
 		used:       make([]bool, m),
-		ev:         sv.baseEv.Clone(),
+		pr:         core.NewPricer(sv.in),
 		classOf:    sv.classOf,
 		nOn:        make([]int, m),
+		firstEmpty: make([]int, m),
 		noSym:      sv.noSym,
-		load:       make([]float64, m),
+		infl:       sv.infl,
+		cand:       make([]childCand, n*m),
+		noOrder:    sv.noOrder,
 		frames:     make([]frame, n),
 		bnd:        sv.bnd,
 		shared:     shared,
@@ -268,6 +391,12 @@ func (sv *solver) newSearcher(shared *incumbent) *searcher {
 	}
 	for u := range s.spec {
 		s.spec[u] = noType
+	}
+	for c := range s.firstEmpty {
+		s.firstEmpty[c] = m
+	}
+	for u := m - 1; u >= 0; u-- {
+		s.firstEmpty[s.classOf[u]] = u // all machines start empty
 	}
 	if s.bnd != nil {
 		s.dlb = make([]float64, n)
@@ -283,9 +412,9 @@ func (s *searcher) dfs(k int) {
 		return
 	}
 	if k == len(s.order) {
-		if p := s.maxLoad(); p < s.bestPeriod {
+		if p := s.pr.Max(); p < s.bestPeriod {
 			s.bestPeriod = p
-			s.best = s.ev.Mapping()
+			s.best = s.pr.Mapping()
 			if s.shared != nil {
 				s.shared.offer(p, s.best)
 			}
@@ -301,45 +430,80 @@ func (s *searcher) dfs(k int) {
 		// against the local one: an optimal subtree (bound <= optimum <=
 		// shared) is then never lost to another worker's find, which keeps
 		// the parallel result deterministic (see parallel.go).
-		if lb := s.lowerBound(k); lb >= s.bestPeriod || lb > sharedP {
+		if lb := s.lowerBound(k, s.bestPeriod, sharedP); lb >= s.bestPeriod || lb > sharedP {
 			return
 		}
 	}
 	i := s.order[k]
 	ty := s.in.App.Type(i)
-	// Root-first order guarantees i's demand is priced, so it is hoisted
-	// out of the candidate loop.
-	demand, _ := s.ev.Demand(i)
-	for u := 0; u < s.m; u++ {
-		mu := platform.MachineID(u)
-		if !s.feasible(u, ty) || s.dominated(u) {
+	for _, c := range s.children(k, sharedP) {
+		// Re-test against the local incumbent, which may have improved
+		// since the gather while earlier children explored their subtrees.
+		if c.load >= s.bestPeriod || c.load > sharedP {
 			continue
 		}
-		xi := demand * s.in.Failures.Inflation(i, mu)
-		newLoad := s.load[u] + xi*s.in.Platform.Time(i, mu)
-		if newLoad >= s.bestPeriod || newLoad > sharedP {
-			continue // this branch can only tie or worsen the incumbent
-		}
 		// Apply.
-		prevSpec, prevUsed, prevLoad := s.spec[u], s.used[u], s.load[u]
-		s.spec[u] = ty
-		s.used[u] = true
-		s.nOn[u]++
-		s.load[u] = newLoad
-		_ = s.ev.Assign(i, mu)
+		prevSpec, prevUsed := s.spec[c.u], s.used[c.u]
+		s.spec[c.u] = ty
+		s.used[c.u] = true
+		s.occupy(int(c.u))
+		_ = s.pr.Assign(i, c.u)
 
 		s.dfs(k + 1)
 
-		// Revert (prevLoad restores the exact bits, keeping loads a pure
-		// function of the partial assignment).
-		s.ev.Unassign(i)
-		s.load[u] = prevLoad
-		s.nOn[u]--
-		s.spec[u], s.used[u] = prevSpec, prevUsed
+		// Revert (the pricer restores the load and maximum bits itself).
+		s.pr.Unassign(i)
+		s.vacate(int(c.u))
+		s.spec[c.u], s.used[c.u] = prevSpec, prevUsed
 		if s.meter.stopped() {
 			return
 		}
 	}
+}
+
+// children gathers the surviving child machines of the node at depth k
+// into the depth's scratch slice, in exactly the order dfs visits them:
+// feasible, non-dominated, below both incumbents, sorted by would-be load
+// ascending (machine id breaking ties) unless DisableOrder keeps the
+// legacy ascending-machine order. The gather and the sort key are pure
+// functions of the node state, so replayed and descended nodes enumerate
+// identically — the frontier split (parallel.go expand) calls this same
+// helper, which is what keeps its subtrees a partition of the sequential
+// node set.
+func (s *searcher) children(k int, sharedP float64) []childCand {
+	i := s.order[k]
+	ty := s.in.App.Type(i)
+	// Root-first order guarantees i's demand is priced, so it is hoisted
+	// out of the candidate loop; the inflation and execution-time rows are
+	// hoisted table slices.
+	demand, _ := s.pr.Demand(i)
+	inflRow := s.infl[int(i)*s.m : (int(i)+1)*s.m]
+	wRow := s.in.Platform.Row(i)
+	cands := s.cand[k*s.m : k*s.m : (k+1)*s.m]
+	for u := 0; u < s.m; u++ {
+		if !s.feasible(u, ty) || s.dominated(u) {
+			continue
+		}
+		xi := demand * inflRow[u]
+		newLoad := s.pr.Load(platform.MachineID(u)) + xi*wRow[u]
+		if newLoad >= s.bestPeriod || newLoad > sharedP {
+			continue // this branch can only tie or worsen the incumbent
+		}
+		cands = append(cands, childCand{load: newLoad, u: platform.MachineID(u), empty: s.nOn[u] == 0})
+	}
+	if !s.noOrder && len(cands) > 1 {
+		// Insertion sort: m is small and the slice is short.
+		for a := 1; a < len(cands); a++ {
+			c := cands[a]
+			b := a - 1
+			for b >= 0 && candBefore(c, cands[b]) {
+				cands[b+1] = cands[b]
+				b--
+			}
+			cands[b+1] = c
+		}
+	}
+	return cands
 }
 
 // feasible reports whether machine u may take a task of type ty under the
@@ -366,46 +530,61 @@ func (s *searcher) feasible(u int, ty app.TypeID) bool {
 // interchangeable, so branching on any but the first empty machine of a
 // class can only revisit (a relabeling of) subtrees the first already
 // covered. Emptiness is stable while a candidate loop iterates —
-// recursions restore nOn before returning — so the "an earlier same-class
-// machine is also empty" test is exact.
+// recursions restore nOn before returning — and firstEmpty makes the
+// "an earlier same-class machine is also empty" test O(1).
 func (s *searcher) dominated(u int) bool {
 	if s.noSym || s.nOn[u] != 0 {
 		return false
 	}
-	for v := 0; v < u; v++ {
-		if s.nOn[v] == 0 && s.classOf[v] == s.classOf[u] {
-			return true
-		}
-	}
-	return false
+	return s.firstEmpty[s.classOf[u]] != u
 }
 
-// maxLoad returns the current maximum machine load.
-func (s *searcher) maxLoad() float64 {
-	worst := 0.0
-	for _, l := range s.load {
-		if l > worst {
-			worst = l
+// occupy counts one more task onto machine u, maintaining the first-empty
+// index of u's symmetry class: when the class's smallest empty machine
+// fills up, the next one is found by a forward scan (later machines only —
+// u was the smallest). firstEmpty is a pure function of nOn, so balanced
+// occupy/vacate pairs restore it exactly.
+func (s *searcher) occupy(u int) {
+	s.nOn[u]++
+	if s.nOn[u] == 1 {
+		c := s.classOf[u]
+		if s.firstEmpty[c] == u {
+			fe := s.m
+			for v := u + 1; v < s.m; v++ {
+				if s.nOn[v] == 0 && s.classOf[v] == c {
+					fe = v
+					break
+				}
+			}
+			s.firstEmpty[c] = fe
 		}
 	}
-	return worst
+}
+
+// vacate undoes one occupy of machine u.
+func (s *searcher) vacate(u int) {
+	s.nOn[u]--
+	if s.nOn[u] == 0 {
+		c := s.classOf[u]
+		if u < s.firstEmpty[c] {
+			s.firstEmpty[c] = u
+		}
+	}
 }
 
 // push replays a frontier prefix (machines for order[0..len(prefix))) onto
-// the searcher. The load update mirrors the dfs expression term for term so
-// replayed and descended states are bit-identical.
+// the searcher. The pricer's Assign computes the same load expression the
+// dfs gather does, term for term, so replayed and descended states are
+// bit-identical.
 func (s *searcher) push(prefix []platform.MachineID) {
 	for j, mu := range prefix {
 		i := s.order[j]
 		u := int(mu)
-		s.frames[j] = frame{spec: s.spec[u], used: s.used[u], load: s.load[u]}
-		demand, _ := s.ev.Demand(i)
-		xi := demand * s.in.Failures.Inflation(i, mu)
-		s.load[u] = s.load[u] + xi*s.in.Platform.Time(i, mu)
+		s.frames[j] = frame{spec: s.spec[u], used: s.used[u]}
 		s.spec[u] = s.in.App.Type(i)
 		s.used[u] = true
-		s.nOn[u]++
-		_ = s.ev.Assign(i, mu)
+		s.occupy(u)
+		_ = s.pr.Assign(i, mu)
 	}
 }
 
@@ -414,10 +593,10 @@ func (s *searcher) pop(prefix []platform.MachineID) {
 	for j := len(prefix) - 1; j >= 0; j-- {
 		mu := prefix[j]
 		u := int(mu)
-		s.ev.Unassign(s.order[j])
-		s.nOn[u]--
+		s.pr.Unassign(s.order[j])
+		s.vacate(u)
 		f := s.frames[j]
-		s.spec[u], s.used[u], s.load[u] = f.spec, f.used, f.load
+		s.spec[u], s.used[u] = f.spec, f.used
 	}
 }
 

@@ -168,5 +168,7 @@ func boundAt(t testing.TB, in *core.Instance, rule core.Rule, prefix []platform.
 	}
 	s := sv.newSearcher(nil)
 	s.push(prefix)
-	return s.lowerBound(len(prefix))
+	// +Inf thresholds: the admissibility harness wants the full bound
+	// value, never the early pruning exit.
+	return s.lowerBound(len(prefix), math.Inf(1), math.Inf(1))
 }

@@ -8,9 +8,10 @@
 // any worker count, including Workers=1 sequential search, because every
 // ingredient of the answer is timing-independent:
 //
-//   - loads, x-values and bounds are pure functions of a node's partial
-//     assignment (see searcher.load), so a subtree explores the same tree
-//     shape regardless of which worker runs it or when;
+//   - loads, x-values, bounds and the best-first child order are pure
+//     functions of a node's partial assignment (see core.Pricer), so a
+//     subtree explores the same tree shape regardless of which worker runs
+//     it or when;
 //   - workers prune non-strictly (>=) against their job-local incumbent —
 //     whose evolution is deterministic within the subtree — but strictly
 //     (>) against the shared cross-worker incumbent. A subtree whose true
@@ -131,7 +132,9 @@ func (sv *solver) enumerate(s *searcher, workers int) ([][]platform.MachineID, i
 }
 
 // expand replays prefix, applies the same per-node pruning as dfs, and
-// appends every surviving child prefix to dst.
+// appends every surviving child prefix to dst — in dfs's own visit order
+// (the shared children helper), so the frontier order is the order a
+// sequential search would first reach the subtrees in.
 func (s *searcher) expand(prefix []platform.MachineID, dst [][]platform.MachineID) [][]platform.MachineID {
 	if !s.meter.step() {
 		return dst
@@ -141,26 +144,14 @@ func (s *searcher) expand(prefix []platform.MachineID, dst [][]platform.MachineI
 	k := len(prefix)
 	sharedP := s.shared.load()
 	if s.bnd != nil {
-		if lb := s.lowerBound(k); lb >= s.bestPeriod || lb > sharedP {
+		if lb := s.lowerBound(k, s.bestPeriod, sharedP); lb >= s.bestPeriod || lb > sharedP {
 			return dst
 		}
 	}
-	i := s.order[k]
-	ty := s.in.App.Type(i)
-	demand, _ := s.ev.Demand(i)
-	for u := 0; u < s.m; u++ {
-		mu := platform.MachineID(u)
-		if !s.feasible(u, ty) || s.dominated(u) {
-			continue
-		}
-		xi := demand * s.in.Failures.Inflation(i, mu)
-		newLoad := s.load[u] + xi*s.in.Platform.Time(i, mu)
-		if newLoad >= s.bestPeriod || newLoad > sharedP {
-			continue
-		}
+	for _, c := range s.children(k, sharedP) {
 		child := make([]platform.MachineID, k+1)
 		copy(child, prefix)
-		child[k] = mu
+		child[k] = c.u
 		dst = append(dst, child)
 	}
 	return dst

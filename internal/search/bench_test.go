@@ -121,7 +121,8 @@ func BenchmarkMovePricingFullRecompute(b *testing.B) {
 }
 
 // BenchmarkHillClimbPolish measures a whole campaign-sized polish pass
-// from the H4w seed.
+// from the H4w seed. probes/s is the search layer's work-rate metric the
+// CI bench artifact tracks.
 func BenchmarkHillClimbPolish(b *testing.B) {
 	in, err := gen.Chain(gen.Default(50, 5, 12), gen.RNG(3))
 	if err != nil {
@@ -131,13 +132,17 @@ func BenchmarkHillClimbPolish(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var probes int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for k := 0; k < b.N; k++ {
-		if _, err := Polish(in, seed, "ls", core.Specialized, nil, 2000); err != nil {
+		res, err := Polish(in, seed, "ls", core.Specialized, nil, 2000)
+		if err != nil {
 			b.Fatal(err)
 		}
+		probes += int64(res.Probes)
 	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
 }
 
 // BenchmarkAnnealPolish measures the annealing flavor of the same pass.
@@ -150,11 +155,52 @@ func BenchmarkAnnealPolish(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var probes int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for k := 0; k < b.N; k++ {
-		if _, err := Polish(in, seed, "anneal", core.Specialized, gen.RNG(int64(k)), 2000); err != nil {
+		res, err := Polish(in, seed, "anneal", core.Specialized, gen.RNG(int64(k)), 2000)
+		if err != nil {
 			b.Fatal(err)
 		}
+		probes += int64(res.Probes)
+	}
+	b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
+}
+
+// BenchmarkSteepestDescent pins the critical-machine filter's payoff on
+// the shape it is built for (wide in-trees: short successor chains, so
+// most tasks provably cannot lower the critical load): one full steepest
+// descent from a random H1 seed, filter on vs off. The refined mapping is
+// identical in both variants (TestFilterResultInvariant); only the probe
+// count and the wall clock differ.
+func BenchmarkSteepestDescent(b *testing.B) {
+	for _, variant := range []struct {
+		name   string
+		filter bool
+	}{{"filter=on", true}, {"filter=off", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			in, err := gen.InTree(gen.Default(120, 5, 20), 8, gen.RNG(120))
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed, err := heuristics.H1(in, gen.RNG(3), heuristics.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := DefaultOptions()
+			opt.DisableFilter = !variant.filter
+			var probes int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for k := 0; k < b.N; k++ {
+				res, err := HillClimb(in, seed, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes += int64(res.Probes)
+			}
+			b.ReportMetric(float64(probes)/b.Elapsed().Seconds(), "probes/s")
+		})
 	}
 }

@@ -86,6 +86,13 @@ type Options struct {
 	// Cooling is the per-proposal geometric cooling factor in (0,1)
 	// (0 = set so the temperature decays to T0/1000 over Iters).
 	Cooling float64
+
+	// DisableFilter turns the critical-machine candidate filter off, so
+	// the descents probe every admissible move like the pre-filter engine.
+	// The filter only skips provably non-improving probes, so the refined
+	// mapping is identical either way (see TestFilterResultInvariant);
+	// the switch exists for ablations and the invariance gate itself.
+	DisableFilter bool
 }
 
 // DefaultOptions returns the options every facade entry point starts
@@ -141,8 +148,10 @@ func improveEps(p float64) float64 { return 1e-9 * math.Max(1, p) }
 const noType app.TypeID = -1
 
 // engine tracks one in-progress neighborhood exploration: the incremental
-// evaluator plus the rule bookkeeping (machine specializations and
-// occupancy) that admissibility checks need in O(1).
+// evaluator plus the rule bookkeeping (machine specializations, occupancy
+// and per-machine task lists) that admissibility checks and group moves
+// need in O(1), plus the critical-machine candidate filter driving the
+// descents.
 type engine struct {
 	in   *core.Instance
 	ev   *core.Evaluator
@@ -150,6 +159,21 @@ type engine struct {
 
 	spec []app.TypeID // machine's current type (noType when empty); Specialized bookkeeping
 	nOn  []int        // tasks per machine
+
+	// tasks[u] lists machine u's tasks (arbitrary but deterministic
+	// order); pos[i] is task i's index inside tasks[a(i)]. Maintained in
+	// O(1) per move, so group moves and the filter never pay the old
+	// O(n) machine scan.
+	tasks [][]app.TaskID
+	pos   []int
+
+	// Critical-machine candidate filter (see refreshMarks): tasks whose
+	// remapping could lower the current maximum carry the current stamp
+	// in mark; markedOn[u] counts them per machine.
+	filter    bool
+	mark      []int
+	markedOn  []int
+	markStamp int
 
 	probes    int
 	maxProbes int
@@ -178,6 +202,11 @@ func newEngine(in *core.Instance, seed *core.Mapping, opt Options) (*engine, err
 		rule:      opt.Rule,
 		spec:      make([]app.TypeID, in.M()),
 		nOn:       make([]int, in.M()),
+		tasks:     make([][]app.TaskID, in.M()),
+		pos:       make([]int, in.N()),
+		filter:    !opt.DisableFilter,
+		mark:      make([]int, in.N()),
+		markedOn:  make([]int, in.M()),
 		maxProbes: opt.maxProbes(in.N(), in.M()),
 	}
 	for u := range e.spec {
@@ -188,6 +217,8 @@ func newEngine(in *core.Instance, seed *core.Mapping, opt Options) (*engine, err
 		u := seed.Machine(id)
 		e.nOn[u]++
 		e.spec[u] = in.App.Type(id)
+		e.pos[id] = len(e.tasks[u])
+		e.tasks[u] = append(e.tasks[u], id)
 	}
 	return e, nil
 }
@@ -248,11 +279,21 @@ func (e *engine) groupAdmissible(u, v platform.MachineID) bool {
 	}
 }
 
-// relocate applies the move i -> v, maintaining the rule bookkeeping. It
-// is its own inverse (relocate back to the previous machine).
+// relocate applies the move i -> v through the Relocate kernel,
+// maintaining the rule bookkeeping and the task lists. It is its own
+// inverse (relocate back to the previous machine).
 func (e *engine) relocate(i app.TaskID, v platform.MachineID) {
 	u := e.ev.Machine(i)
-	_ = e.ev.Assign(i, v) // i and v are always in range here
+	_ = e.ev.Relocate(i, v) // i and v are always in range and assigned here
+	// Task lists: swap-remove from u, append to v.
+	lst := e.tasks[u]
+	k, last := e.pos[i], len(lst)-1
+	moved := lst[last]
+	lst[k] = moved
+	e.pos[moved] = k
+	e.tasks[u] = lst[:last]
+	e.pos[i] = len(e.tasks[v])
+	e.tasks[v] = append(e.tasks[v], i)
 	e.nOn[u]--
 	if e.nOn[u] == 0 {
 		e.spec[u] = noType
@@ -261,21 +302,31 @@ func (e *engine) relocate(i app.TaskID, v platform.MachineID) {
 	e.spec[v] = e.in.App.Type(i)
 }
 
-// swap exchanges the machines of i and j.
+// swap exchanges the machines of i and j through the native Swap kernel —
+// one repricing of the affected region instead of two Assign walks (~half
+// the cost on chains, where every swap shares a prefix). The bookkeeping
+// is an O(1) exchange: occupancies are unchanged and each machine takes
+// the other task's slot in its list.
 func (e *engine) swap(i, j app.TaskID) {
 	u, v := e.ev.Machine(i), e.ev.Machine(j)
-	e.relocate(i, v)
-	e.relocate(j, u)
+	if i == j || u == v {
+		return
+	}
+	_ = e.ev.Swap(i, j)
+	e.tasks[u][e.pos[i]] = j
+	e.tasks[v][e.pos[j]] = i
+	e.pos[i], e.pos[j] = e.pos[j], e.pos[i]
+	// Under Specialized a mixed-type swap is only admissible when both
+	// tasks are alone on their machines, so overwriting the types is
+	// exact; same-type swaps rewrite the same value.
+	e.spec[u] = e.in.App.Type(j)
+	e.spec[v] = e.in.App.Type(i)
 }
 
-// tasksOn collects machine u's tasks into the scratch slice.
+// tasksOn copies machine u's task list into the scratch slice (the live
+// list mutates as moveGroup relocates).
 func (e *engine) tasksOn(u platform.MachineID) []app.TaskID {
-	e.group = e.group[:0]
-	for i := 0; i < e.in.N(); i++ {
-		if e.ev.Machine(app.TaskID(i)) == u {
-			e.group = append(e.group, app.TaskID(i))
-		}
-	}
+	e.group = append(e.group[:0], e.tasks[u]...)
 	return e.group
 }
 
@@ -287,6 +338,57 @@ func (e *engine) moveGroup(u, v platform.MachineID) []app.TaskID {
 		e.relocate(i, v)
 	}
 	return tasks
+}
+
+// refreshMarks recomputes the critical-machine candidate filter. A move
+// strictly improves the period only if it strictly lowers the load of the
+// current critical machine, and remapping task i only changes the loads of
+// i's machines (old and new) and of the machines hosting i's feeders
+// (their x-values scale with x[i]). Read in reverse: the critical load can
+// only drop when the move touches a task on the critical machine or a task
+// on the successor chain of one — every other single-task move leaves the
+// critical load bit-identical (charge/discharge never touches it), so
+// skipping those probes cannot skip an accepted move. The marks are exact
+// for the state they were computed against; descents refresh them after
+// every kept move. (Reverted probes can drift other machines' compensated
+// sums by ulps, which is why acceptance requires improveEps — far above
+// ulp scale — rather than any strict inequality; see the invariance gate
+// TestFilterResultInvariant.)
+//
+// Cost: O(|critical tasks| · chain depth), the marked region only.
+func (e *engine) refreshMarks() {
+	if !e.filter {
+		return
+	}
+	e.markStamp++
+	for u := range e.markedOn {
+		e.markedOn[u] = 0
+	}
+	crit := e.ev.Critical()
+	if crit == platform.NoMachine {
+		return // all-zero loads: nothing can improve, nothing marked
+	}
+	for _, t := range e.tasks[crit] {
+		for cur := t; cur != app.NoTask; cur = e.in.App.Successor(cur) {
+			if e.mark[cur] == e.markStamp {
+				break // shared chain suffix already walked
+			}
+			e.mark[cur] = e.markStamp
+			e.markedOn[e.ev.Machine(cur)]++
+		}
+	}
+}
+
+// candidate reports whether relocating task i could improve the period
+// (always true with the filter off).
+func (e *engine) candidate(i app.TaskID) bool {
+	return !e.filter || e.mark[i] == e.markStamp
+}
+
+// candidateGroup reports whether moving machine u's tasks anywhere could
+// improve the period: some task on u must be a candidate.
+func (e *engine) candidateGroup(u platform.MachineID) bool {
+	return !e.filter || e.markedOn[u] > 0
 }
 
 // probeRelocate prices the move i -> v: apply, read, and keep it only when
@@ -363,9 +465,13 @@ func HillClimb(in *core.Instance, seed *core.Mapping, opt Options) (*Result, err
 func (e *engine) descendFirst(cur float64, moves Moves, res *Result) (float64, bool) {
 	improved := false
 	n, m := e.in.N(), e.in.M()
+	e.refreshMarks()
 	if moves&Relocate != 0 {
 		for i := 0; i < n && e.budgetLeft(); i++ {
 			id := app.TaskID(i)
+			if !e.candidate(id) {
+				continue // provably cannot lower the critical load
+			}
 			for v := 0; v < m && e.budgetLeft(); v++ {
 				mv := platform.MachineID(v)
 				if !e.admissible(id, mv) {
@@ -374,6 +480,7 @@ func (e *engine) descendFirst(cur float64, moves Moves, res *Result) (float64, b
 				if p, ok := e.probeRelocate(id, mv, cur); ok {
 					cur, improved = p, true
 					res.Accepted++
+					e.refreshMarks()
 				}
 			}
 		}
@@ -381,18 +488,26 @@ func (e *engine) descendFirst(cur float64, moves Moves, res *Result) (float64, b
 	if moves&Swap != 0 {
 		for i := 0; i < n && e.budgetLeft(); i++ {
 			for j := i + 1; j < n && e.budgetLeft(); j++ {
-				if !e.swapAdmissible(app.TaskID(i), app.TaskID(j)) {
+				a, b := app.TaskID(i), app.TaskID(j)
+				if !e.candidate(a) && !e.candidate(b) {
 					continue
 				}
-				if p, ok := e.probeSwap(app.TaskID(i), app.TaskID(j), cur); ok {
+				if !e.swapAdmissible(a, b) {
+					continue
+				}
+				if p, ok := e.probeSwap(a, b, cur); ok {
 					cur, improved = p, true
 					res.Accepted++
+					e.refreshMarks()
 				}
 			}
 		}
 	}
 	if moves&Group != 0 {
 		for u := 0; u < m && e.budgetLeft(); u++ {
+			if !e.candidateGroup(platform.MachineID(u)) {
+				continue
+			}
 			for v := 0; v < m && e.budgetLeft(); v++ {
 				if !e.groupAdmissible(platform.MachineID(u), platform.MachineID(v)) {
 					continue
@@ -400,6 +515,7 @@ func (e *engine) descendFirst(cur float64, moves Moves, res *Result) (float64, b
 				if p, ok := e.probeGroup(platform.MachineID(u), platform.MachineID(v), cur); ok {
 					cur, improved = p, true
 					res.Accepted++
+					e.refreshMarks()
 				}
 			}
 		}
@@ -421,6 +537,7 @@ func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64
 	best := steepestMove{}
 	bestP := cur
 	n, m := e.in.N(), e.in.M()
+	e.refreshMarks() // valid for the whole scan: probes revert, nothing is kept until the end
 	consider := func(p float64, mv steepestMove) {
 		if p < bestP-improveEps(bestP) {
 			bestP = p
@@ -430,6 +547,9 @@ func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64
 	if moves&Relocate != 0 {
 		for i := 0; i < n && e.budgetLeft(); i++ {
 			id := app.TaskID(i)
+			if !e.candidate(id) {
+				continue // provably cannot lower the critical load
+			}
 			u := e.ev.Machine(id)
 			for v := 0; v < m && e.budgetLeft(); v++ {
 				mv := platform.MachineID(v)
@@ -447,6 +567,9 @@ func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64
 		for i := 0; i < n && e.budgetLeft(); i++ {
 			for j := i + 1; j < n && e.budgetLeft(); j++ {
 				a, b := app.TaskID(i), app.TaskID(j)
+				if !e.candidate(a) && !e.candidate(b) {
+					continue
+				}
 				if !e.swapAdmissible(a, b) {
 					continue
 				}
@@ -459,6 +582,9 @@ func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64
 	}
 	if moves&Group != 0 {
 		for u := 0; u < m && e.budgetLeft(); u++ {
+			if !e.candidateGroup(platform.MachineID(u)) {
+				continue
+			}
 			for v := 0; v < m && e.budgetLeft(); v++ {
 				mu, mv := platform.MachineID(u), platform.MachineID(v)
 				if !e.groupAdmissible(mu, mv) {
@@ -494,6 +620,11 @@ func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64
 // worsens the seed. Runs are deterministic for a given seed mapping and
 // RNG stream; campaign callers derive the stream per draw with
 // gen.DeriveRNG so concurrent polishing stays reproducible.
+//
+// With T0 unset the initial temperature is auto-tuned from the seed's own
+// move-delta scale by acceptance-ratio targeting (see calibrateT0), so the
+// same options work across figures whose period scales differ by orders of
+// magnitude.
 func Anneal(in *core.Instance, seed *core.Mapping, rng *rand.Rand, opt Options) (*Result, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("search: Anneal needs an RNG (use gen.RNG or gen.DeriveRNG)")
@@ -508,15 +639,6 @@ func Anneal(in *core.Instance, seed *core.Mapping, rng *rand.Rand, opt Options) 
 	bestMap := e.ev.Mapping()
 
 	iters := opt.iters(in.N())
-	temp := opt.T0
-	if temp <= 0 {
-		temp = 0.05 * cur
-	}
-	cool := opt.Cooling
-	if cool <= 0 || cool >= 1 {
-		// Decay to T0/1000 over the run: cool^iters = 1e-3.
-		cool = math.Exp(math.Log(1e-3) / float64(iters))
-	}
 
 	n, m := in.N(), in.M()
 	moves := opt.moves()
@@ -533,6 +655,16 @@ func Anneal(in *core.Instance, seed *core.Mapping, rng *rand.Rand, opt Options) 
 	}
 	if len(kinds) == 0 {
 		return nil, fmt.Errorf("search: no known move kind in Moves mask %#x", opt.Moves)
+	}
+
+	temp := opt.T0
+	if temp <= 0 {
+		temp = calibrateT0(e, rng, kinds, n, m, cur)
+	}
+	cool := opt.Cooling
+	if cool <= 0 || cool >= 1 {
+		// Decay to T0/1000 over the run: cool^iters = 1e-3.
+		cool = math.Exp(math.Log(1e-3) / float64(iters))
 	}
 	for it := 0; it < iters && e.budgetLeft(); it++ {
 		p, applied, undo := e.proposeRandom(rng, kinds[rng.Intn(len(kinds))], n, m)
@@ -558,6 +690,43 @@ func Anneal(in *core.Instance, seed *core.Mapping, rng *rand.Rand, opt Options) 
 	res.Period = bestP
 	res.Probes = e.probes
 	return res, nil
+}
+
+// calibrateT0 picks the initial annealing temperature by acceptance-ratio
+// targeting (Johnson et al. 1989): probe a small sample of random
+// neighborhood moves from the seed, average the uphill deltas, and set T0
+// so an average worsening move is accepted with probability chi0 at the
+// start — exp(-mean(Δ⁺)/T0) = chi0, i.e. T0 = mean(Δ⁺)/ln(1/chi0). The
+// temperature then tracks the seed's own period scale: figures whose
+// periods differ by orders of magnitude all start around the same uphill
+// acceptance ratio, which is what lets `-polish anneal` run without
+// per-figure budget tweaking. Every sampled probe is reverted and the
+// sample draws from the caller's RNG stream, so runs stay deterministic
+// per stream; the sample is calibration, not search, and is not counted
+// against the probe budget. With no uphill neighbor in the sample (a
+// plateau) it falls back to the legacy 5% of the seed period.
+func calibrateT0(e *engine, rng *rand.Rand, kinds []Moves, n, m int, cur float64) float64 {
+	const (
+		samples = 48
+		chi0    = 0.8
+	)
+	var sum float64
+	ups := 0
+	for s := 0; s < samples; s++ {
+		p, applied, undo := e.proposeRandom(rng, kinds[rng.Intn(len(kinds))], n, m)
+		if !applied {
+			continue
+		}
+		undo()
+		if d := p - cur; d > 0 {
+			sum += d
+			ups++
+		}
+	}
+	if ups == 0 {
+		return 0.05 * cur
+	}
+	return (sum / float64(ups)) / math.Log(1/chi0)
 }
 
 // proposeRandom draws one random move of the given kind, applies it when

@@ -71,8 +71,14 @@ type (
 	// Evaluation is the period/throughput breakdown of a mapping.
 	Evaluation = core.Evaluation
 	// Evaluator is the stateful incremental evaluation engine
-	// (Assign/Unassign/Best) used by the search loops.
+	// (Assign/Unassign/Best, plus the native Swap/Relocate move kernels)
+	// used by the search loops.
 	Evaluator = core.Evaluator
+	// Pricer is the pricing-only evaluation mode for root-first LIFO
+	// searches: O(1) loads and maximum, bit-exact backtracking, none of
+	// the Evaluator's ledger machinery. The exact branch and bound runs
+	// on it.
+	Pricer = core.Pricer
 	// SplitEvaluator is the incremental engine for fractional mappings
 	// (SetShares/Best), the EvaluateSplit counterpart of Evaluator.
 	SplitEvaluator = core.SplitEvaluator
@@ -197,6 +203,7 @@ func solveExact(in *Instance, _ int64) (*Mapping, error) {
 		Rule:      core.Specialized,
 		TimeLimit: 30 * time.Second,
 		Workers:   runtime.GOMAXPROCS(0),
+		WarmStart: true,
 	})
 	if err != nil {
 		return nil, err
@@ -208,11 +215,14 @@ func solveExact(in *Instance, _ int64) (*Mapping, error) {
 }
 
 // SolveExact runs the DFS branch and bound with full control over its
-// options: rule, node/time budgets, warm-start incumbent, the parallel
-// root split (Workers), and the pruning ablations. Proven results are
-// byte-identical for any worker count; see exact.Options for the budget
-// caveats. Solve("exact") is the convenience form (Specialized rule, 30s
-// budget, all CPUs).
+// options: rule, node/time budgets, warm-start incumbents (an explicit
+// Incumbent and/or the H4w WarmStart), the parallel root split (Workers),
+// and the pruning/ordering ablations. The search prices through the
+// pricing-only core.Pricer and visits children best-first after a greedy
+// restart dive, so even budget-starved runs return near-optimal
+// incumbents. Proven results are byte-identical for any worker count; see
+// exact.Options for the budget caveats. Solve("exact") is the convenience
+// form (Specialized rule, 30s budget, all CPUs, H4w warm start).
 func SolveExact(in *Instance, opts ExactOptions) (*ExactResult, error) {
 	return exact.Solve(in, opts)
 }
@@ -316,6 +326,14 @@ func NewEvaluator(in *Instance) *Evaluator { return core.NewEvaluator(in) }
 func NewEvaluatorFrom(in *Instance, m *Mapping) (*Evaluator, error) {
 	return core.NewEvaluatorFrom(in, m)
 }
+
+// NewPricer returns the pricing-only evaluation mode over the instance:
+// per-machine loads and the running maximum maintained in O(1) per
+// Assign/Unassign with bit-exact backtracking, for root-first LIFO search
+// loops (the exact branch and bound runs on one). Use NewEvaluator when
+// tasks are (un)assigned in arbitrary order or moved in place — the
+// Pricer trades that generality for the leaner hot loop.
+func NewPricer(in *Instance) *Pricer { return core.NewPricer(in) }
 
 // EvaluateSplit evaluates a fractional mapping.
 func EvaluateSplit(in *Instance, s *SplitMapping) (*Evaluation, error) {
