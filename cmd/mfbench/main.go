@@ -2,13 +2,16 @@
 // machine-readable JSON report, so CI can archive the performance
 // trajectory of the hot loops (core Assign/Swap pricing, exact-solver
 // nodes/s, search probes/s) as a build artifact instead of a log line
-// humans have to diff by eye.
+// humans have to diff by eye. With -compare it doubles as the regression
+// gate: the fresh run is diffed against a committed baseline report and
+// the exit status says whether any hot loop regressed.
 //
 // Usage:
 //
 //	go test -run='^$' -bench . -benchtime 1x ./... | mfbench -out BENCH.json
 //	mfbench < bench.txt                  # JSON on stdout
 //	mfbench -label pr5 < bench.txt
+//	mfbench -compare bench/baseline.json -threshold 20 < bench.txt
 //
 // Every `BenchmarkName-P  N  <value> <unit> ...` line becomes one entry
 // with the iteration count and a unit -> value map covering ns/op, B/op,
@@ -17,6 +20,13 @@
 // stream can be piped through verbatim. Exits non-zero when no benchmark
 // lines were found — an empty artifact means the bench step silently
 // broke.
+//
+// Compare mode gates only the benchmarks present in BOTH reports (new
+// benchmarks pass by default, renamed ones silently leave the gate — keep
+// the baseline fresh): ns/op may not grow by more than the threshold, and
+// throughput ("/s") metrics may not drop by more than it. Everything else
+// (B/op, allocs/op, iteration counts) is archived but not gated, because
+// those are exact and the dedicated allocation tests already pin them.
 package main
 
 import (
@@ -24,8 +34,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -59,14 +71,63 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 func main() {
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	label := flag.String("label", "", "optional run label recorded in the report")
+	baselinePath := flag.String("compare", "", "baseline report to gate against; regressions beyond -threshold exit non-zero")
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -compare (ns/op growth, '/s' drop)")
 	flag.Parse()
 
+	report := parseBench(os.Stdin, *label)
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "mfbench: no benchmark lines on stdin (did the bench step run with -bench?)")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" && *baselinePath == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mfbench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+	}
+	if *baselinePath == "" {
+		return
+	}
+	base, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfbench:", err)
+		os.Exit(1)
+	}
+	regressions, gated := compareReports(base, report, *threshold)
+	if gated == 0 {
+		fmt.Fprintln(os.Stderr, "mfbench: baseline shares no benchmarks with this run — the gate checked nothing")
+		os.Exit(1)
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "mfbench: REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "mfbench: %d of %d gated benchmarks regressed beyond %.0f%%\n", len(regressions), gated, *threshold)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mfbench: gate passed: %d benchmarks within %.0f%% of %s\n", gated, *threshold, *baselinePath)
+}
+
+// parseBench reads a `go test -bench` text stream into a Report.
+func parseBench(r io.Reader, label string) Report {
 	report := Report{
 		Schema:      "microfab-bench/v1",
-		Label:       *label,
+		Label:       label,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
@@ -88,28 +149,87 @@ func main() {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "mfbench: read stdin:", err)
+		fmt.Fprintln(os.Stderr, "mfbench: read input:", err)
 		os.Exit(1)
 	}
-	if len(report.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "mfbench: no benchmark lines on stdin (did the bench step run with -bench?)")
-		os.Exit(1)
-	}
-	buf, err := json.MarshalIndent(report, "", "  ")
+	return report
+}
+
+// readReport loads a JSON report written by a previous run.
+func readReport(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mfbench:", err)
-		os.Exit(1)
+		return rep, err
 	}
-	buf = append(buf, '\n')
-	if *out == "" {
-		os.Stdout.Write(buf)
-		return
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "mfbench:", err)
-		os.Exit(1)
+	if rep.Schema != "microfab-bench/v1" {
+		return rep, fmt.Errorf("%s: schema %q, want microfab-bench/v1", path, rep.Schema)
 	}
-	fmt.Fprintf(os.Stderr, "mfbench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+	return rep, nil
+}
+
+// compareReports diffs the current run against the baseline over the
+// benchmarks present in both (matched by name). A benchmark regresses when
+// its ns/op grew by more than threshold percent, or any of its throughput
+// metrics (unit ending in "/s") dropped by more than threshold percent.
+// It returns the regression descriptions (deterministic order) and how
+// many benchmarks the gate actually covered.
+func compareReports(base, cur Report, threshold float64) (regressions []string, gated int) {
+	baseByName := make(map[string]Entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseByName[e.Name] = e
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	curByName := make(map[string]Entry, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		if _, dup := curByName[e.Name]; dup {
+			continue // -count>1 reruns: gate on the first measurement
+		}
+		curByName[e.Name] = e
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	frac := threshold / 100
+	for _, name := range names {
+		b, ok := baseByName[name]
+		if !ok {
+			continue
+		}
+		c := curByName[name]
+		covered := false
+		if bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]; bn > 0 && cn > 0 {
+			covered = true
+			if cn > bn*(1+frac) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: ns/op %.4g -> %.4g (+%.1f%%, limit %.0f%%)", name, bn, cn, 100*(cn/bn-1), threshold))
+			}
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			if strings.HasSuffix(unit, "/s") {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv, cv := b.Metrics[unit], c.Metrics[unit]
+			if bv <= 0 || cv <= 0 {
+				continue
+			}
+			covered = true
+			if cv < bv*(1-frac) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4g -> %.4g (-%.1f%%, limit %.0f%%)", name, unit, bv, cv, 100*(1-cv/bv), threshold))
+			}
+		}
+		if covered {
+			gated++
+		}
+	}
+	return regressions, gated
 }
 
 // parseMetrics reads the "<value> <unit>" pairs of a benchmark line tail.

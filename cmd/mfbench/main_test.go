@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestBenchLineParsing(t *testing.T) {
 	cases := []struct {
@@ -44,5 +47,98 @@ func TestBenchLineParsing(t *testing.T) {
 	}
 	if got := parseMetrics("not-a-number ns/op"); got != nil {
 		t.Fatalf("malformed tail accepted: %v", got)
+	}
+}
+
+// report builds a one-metric-map-per-name Report for compare tests.
+func report(entries ...Entry) Report {
+	return Report{Schema: "microfab-bench/v1", Benchmarks: entries}
+}
+
+func entry(name string, metrics map[string]float64) Entry {
+	return Entry{Name: name, Iters: 1, Metrics: metrics}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := report(
+		entry("BenchmarkA", map[string]float64{"ns/op": 100}),
+		entry("BenchmarkB", map[string]float64{"ns/op": 1000, "nodes/s": 5e6}),
+		entry("BenchmarkGone", map[string]float64{"ns/op": 50}),
+	)
+
+	// Within threshold on every shared benchmark: clean gate over 2 entries.
+	cur := report(
+		entry("BenchmarkA", map[string]float64{"ns/op": 115}),
+		entry("BenchmarkB", map[string]float64{"ns/op": 900, "nodes/s": 4.5e6}),
+		entry("BenchmarkNew", map[string]float64{"ns/op": 1e9}), // not in baseline: never gated
+	)
+	regs, gated := compareReports(base, cur, 20)
+	if len(regs) != 0 || gated != 2 {
+		t.Fatalf("clean run flagged: regs=%v gated=%d", regs, gated)
+	}
+
+	// ns/op growth beyond the threshold must be flagged.
+	cur = report(entry("BenchmarkA", map[string]float64{"ns/op": 130}))
+	regs, gated = compareReports(base, cur, 20)
+	if len(regs) != 1 || gated != 1 || !strings.Contains(regs[0], "BenchmarkA") {
+		t.Fatalf("30%% ns/op growth not flagged: regs=%v gated=%d", regs, gated)
+	}
+
+	// A throughput drop is a regression even when ns/op looks fine.
+	cur = report(entry("BenchmarkB", map[string]float64{"ns/op": 1000, "nodes/s": 3e6}))
+	regs, _ = compareReports(base, cur, 20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "nodes/s") {
+		t.Fatalf("40%% nodes/s drop not flagged: %v", regs)
+	}
+
+	// Throughput growth and ns/op shrink never trip the gate.
+	cur = report(entry("BenchmarkB", map[string]float64{"ns/op": 10, "nodes/s": 5e8}))
+	if regs, _ = compareReports(base, cur, 20); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+
+	// Exactly at the limit passes; a hair over fails.
+	cur = report(entry("BenchmarkA", map[string]float64{"ns/op": 120}))
+	if regs, _ = compareReports(base, cur, 20); len(regs) != 0 {
+		t.Fatalf("exactly +20%% flagged: %v", regs)
+	}
+	cur = report(entry("BenchmarkA", map[string]float64{"ns/op": 120.2}))
+	if regs, _ = compareReports(base, cur, 20); len(regs) != 1 {
+		t.Fatalf("+20.2%% not flagged: %v", regs)
+	}
+
+	// Disjoint reports gate nothing — main turns that into a hard error.
+	regs, gated = compareReports(base, report(entry("BenchmarkOther", map[string]float64{"ns/op": 1})), 20)
+	if len(regs) != 0 || gated != 0 {
+		t.Fatalf("disjoint compare: regs=%v gated=%d", regs, gated)
+	}
+
+	// -count>1 duplicate lines: only the first measurement is gated.
+	cur = Report{Schema: "microfab-bench/v1", Benchmarks: []Entry{
+		entry("BenchmarkA", map[string]float64{"ns/op": 110}),
+		entry("BenchmarkA", map[string]float64{"ns/op": 990}),
+	}}
+	if regs, _ = compareReports(base, cur, 20); len(regs) != 0 {
+		t.Fatalf("duplicate rerun gated: %v", regs)
+	}
+}
+
+func TestParseBenchRoundTrip(t *testing.T) {
+	text := `goos: linux
+BenchmarkTrialAll/m8/batch-8   887908   347.0 ns/op
+BenchmarkTrialAll/m8/loop-8    244735   1350 ns/op
+BenchmarkExactSolvePricer      253022   9910 ns/op   5045648 nodes/s
+PASS
+ok  	microfab/internal/core	9.262s
+`
+	rep := parseBench(strings.NewReader(text), "t")
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	if rep.Benchmarks[2].Metrics["nodes/s"] != 5045648 {
+		t.Fatalf("nodes/s lost: %+v", rep.Benchmarks[2])
+	}
+	if regs, gated := compareReports(rep, rep, 20); len(regs) != 0 || gated != 3 {
+		t.Fatalf("self-compare: regs=%v gated=%d", regs, gated)
 	}
 }

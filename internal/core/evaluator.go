@@ -170,6 +170,48 @@ func (e *Evaluator) Trial(i app.TaskID, u platform.MachineID) (float64, bool) {
 	return e.led.value(u) + xi*e.in.Platform.Time(i, u), true
 }
 
+// TrialAll writes, for every machine u, the period u would reach if it also
+// carried task i — one pass over the instance's structure-of-arrays rows
+// and the ledger's per-machine sums instead of m Trial calls, which each
+// redo the demand lookup, the inflation division and the time indirection.
+// out must have length M. It returns false (out untouched) when i's
+// downstream demand is unknown. Each out[u] is bit-equal to the
+// corresponding Trial(i, u): the cached inflation bits are exactly
+// Failures.Inflation's and the multiplication order is identical.
+func (e *Evaluator) TrialAll(i app.TaskID, out []float64) bool {
+	d, ok := e.Demand(i)
+	if !ok {
+		return false
+	}
+	m := len(e.led.period)
+	base := int(i) * m
+	infl, tim := e.in.tables()
+	inflRow := infl[base : base+m]
+	timRow := tim[base : base+m]
+	period := e.led.period[:m]
+	comp := e.led.comp[:m]
+	for u, f := range inflRow {
+		out[u] = (period[u] + comp[u]) + (f*d)*timRow[u]
+	}
+	return true
+}
+
+// MachinePeriodsInto writes the current per-machine periods into out
+// (length M) without allocating — the batch-scan companion of
+// MachinePeriods for hot loops that rescan every candidate machine.
+func (e *Evaluator) MachinePeriodsInto(out []float64) {
+	period := e.led.period
+	comp := e.led.comp
+	for u := range period {
+		out[u] = period[u] + comp[u]
+	}
+}
+
+// Contribution returns x[i]·w[i][a(i)], task i's current contribution to
+// its machine's period (0 when unpriced). Candidate scoring in
+// internal/search reads it to subtract a task's own load share in O(1).
+func (e *Evaluator) Contribution(i app.TaskID) float64 { return e.contrib[i] }
+
 // Assign sets a(i) = u, repricing the affected prefix of the in-tree and
 // the touched machine periods incrementally. Assigning an already-assigned
 // task moves it (no explicit Unassign needed).

@@ -437,6 +437,67 @@ func FuzzSwapDelta(f *testing.F) {
 	})
 }
 
+// FuzzTrialAll decodes an instance plus a mutation script and, after every
+// step, cross-checks the batch kernels against their scalar counterparts:
+// the Evaluator.TrialAll row must be bit-equal to m Trial calls at every
+// partial state the script reaches, and a root-first Pricer walk steered by
+// the tape must find PriceAll bit-equal to m Pricer.Trial calls with Assign
+// landing on exactly the batch row's bits — the fuzz twin of
+// TestTrialAllDifferential and TestPriceAllDifferential.
+func FuzzTrialAll(f *testing.F) {
+	f.Add([]byte("batch-kernels"))
+	f.Add([]byte{6, 5, 2, 1, 80, 90, 100, 110, 0, 1, 2, 3, 4, 5, 4, 3, 2, 1, 0})
+	f.Add([]byte{11, 8, 3, 0, 160, 20, 40, 60, 80, 100, 120, 140, 7, 0, 6, 1, 5, 2, 4, 3})
+	f.Add([]byte("\x07\x04\x03\x00soa-rows\x00\xff\x01\xfe"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		p := &byteProgram{data: data}
+		in, err := decodeInstance(p)
+		if err != nil {
+			t.Fatalf("decoder built an invalid instance: %v", err)
+		}
+		ev := core.NewEvaluator(in)
+		steps := 8 + p.intn(40)
+		for s := 0; s < steps; s++ {
+			op := p.next()
+			i := app.TaskID(p.intn(in.N()))
+			var desc string
+			if op%3 == 2 {
+				ev.Unassign(i)
+				desc = fmt.Sprintf("unassign T%d", int(i)+1)
+			} else {
+				u := platform.MachineID(p.intn(in.M()))
+				if err := ev.Assign(i, u); err != nil {
+					t.Fatal(err)
+				}
+				desc = fmt.Sprintf("assign T%d -> M%d", int(i)+1, int(u)+1)
+			}
+			checkTrialAllBitEqual(t, in, ev, fmt.Sprintf("step %d (%s)", s, desc))
+		}
+
+		// Pricer leg: a root-first push walk with tape-chosen machines.
+		pr := core.NewPricer(in)
+		out := make([]float64, in.M())
+		for d, i := range in.App.ReverseTopological() {
+			checkPriceAllBitEqual(t, in, pr, fmt.Sprintf("pricer push %d", d))
+			if !pr.PriceAll(i, out) {
+				t.Fatalf("pricer push %d: demand of T%d unknown in root-first order", d, int(i)+1)
+			}
+			u := platform.MachineID(p.intn(in.M()))
+			promised := out[u]
+			if err := pr.Assign(i, u); err != nil {
+				t.Fatal(err)
+			}
+			if got := pr.Load(u); got != promised {
+				t.Fatalf("pricer push %d: PriceAll promised %v, Assign produced %v", d, promised, got)
+			}
+		}
+		checkPriceAllBitEqual(t, in, pr, "pricer complete")
+	})
+}
+
 // FuzzPeriodErrors drives the error-classification contract on decoded
 // instances: PeriodE must wrap ErrIncompleteMapping exactly for mappings
 // with holes and return genuine errors for out-of-range machines.

@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"microfab/internal/app"
 	"microfab/internal/failure"
@@ -45,10 +46,40 @@ func (r Rule) String() string {
 }
 
 // Instance bundles the three model ingredients every solver consumes.
+//
+// It also owns the shared structure-of-arrays tables behind the batch
+// pricing kernels (Pricer.PriceAll, Evaluator.TrialAll): row-major copies
+// of the inflation factors F(i,u) and the execution times w[i][u], built
+// lazily on first use and shared read-only by every engine over the
+// instance. The components are immutable after NewInstance, so the cached
+// bits can never go stale.
 type Instance struct {
 	App      *app.Application
 	Platform *platform.Platform
 	Failures *failure.Matrix
+
+	tablesOnce sync.Once
+	infl       []float64 // row-major F(i,u) = 1/(1-f[i][u]), index i·m+u
+	tim        []float64 // row-major w[i][u], index i·m+u
+}
+
+// tables returns the shared SoA rows (inflation, time), building them on
+// first use. The returned slices are read-only.
+func (in *Instance) tables() (infl, tim []float64) {
+	in.tablesOnce.Do(func() {
+		n, m := in.N(), in.M()
+		fi := make([]float64, n*m)
+		ti := make([]float64, n*m)
+		for i := 0; i < n; i++ {
+			row := in.Platform.Row(app.TaskID(i))
+			for u := 0; u < m; u++ {
+				fi[i*m+u] = in.Failures.Inflation(app.TaskID(i), platform.MachineID(u))
+				ti[i*m+u] = row[u]
+			}
+		}
+		in.infl, in.tim = fi, ti
+	})
+	return in.infl, in.tim
 }
 
 // NewInstance validates dimension agreement between the three parts and the

@@ -55,11 +55,13 @@ type Pricer struct {
 	savedMax  []float64 // the running maximum just before i's assignment
 	max       float64
 
-	// infl caches F(i,u) = 1/(1-f[i][u]) row-major: the failure matrix
+	// infl and tim cache F(i,u) = 1/(1-f[i][u]) and w[i][u] row-major,
+	// shared with every engine over the instance: the failure matrix
 	// recomputes the division on every Inflation call, which a hot loop
 	// paying one per node can feel. Cached bits are identical to the
 	// recomputed ones, so pricing is unchanged.
 	infl []float64
+	tim  []float64
 
 	nAssigned int
 }
@@ -67,6 +69,7 @@ type Pricer struct {
 // NewPricer returns a Pricer over the instance with every task unassigned.
 func NewPricer(in *Instance) *Pricer {
 	n, m := in.N(), in.M()
+	infl, tim := in.tables()
 	p := &Pricer{
 		in:        in,
 		m:         m,
@@ -75,7 +78,8 @@ func NewPricer(in *Instance) *Pricer {
 		load:      make([]float64, m),
 		savedLoad: make([]float64, n),
 		savedMax:  make([]float64, n),
-		infl:      InflationTable(in),
+		infl:      infl,
+		tim:       tim,
 	}
 	for i := range p.assign {
 		p.assign[i] = platform.NoMachine
@@ -86,15 +90,20 @@ func NewPricer(in *Instance) *Pricer {
 // InflationTable returns F(i,u) = 1/(1-f[i][u]) for every couple, row-major
 // (index i·m + u) — the cached form hot search loops read instead of
 // re-dividing per call. The cached bits are exactly Failures.Inflation's.
+// The slice is shared by every engine over the instance and must not be
+// modified.
 func InflationTable(in *Instance) []float64 {
-	n, m := in.N(), in.M()
-	t := make([]float64, n*m)
-	for i := 0; i < n; i++ {
-		for u := 0; u < m; u++ {
-			t[i*m+u] = in.Failures.Inflation(app.TaskID(i), platform.MachineID(u))
-		}
-	}
-	return t
+	infl, _ := in.tables()
+	return infl
+}
+
+// TimeTable returns w[i][u] for every couple, row-major (index i·m + u) —
+// the structure-of-arrays form of Platform.Time the batch kernels walk.
+// The slice is shared by every engine over the instance and must not be
+// modified.
+func TimeTable(in *Instance) []float64 {
+	_, tim := in.tables()
+	return tim
 }
 
 // Clone returns an independent Pricer with the same assignment path state.
@@ -111,6 +120,7 @@ func (p *Pricer) Clone() *Pricer {
 		savedMax:  append([]float64(nil), p.savedMax...),
 		max:       p.max,
 		infl:      p.infl, // read-only, shared
+		tim:       p.tim,  // read-only, shared
 		nAssigned: p.nAssigned,
 	}
 }
@@ -192,7 +202,35 @@ func (p *Pricer) Trial(i app.TaskID, u platform.MachineID) (float64, bool) {
 		return 0, false
 	}
 	xi := d * p.infl[int(i)*p.m+int(u)]
-	return p.load[u] + xi*p.in.Platform.Time(i, u), true
+	return p.load[u] + xi*p.tim[int(i)*p.m+int(u)], true
+}
+
+// PriceAll writes, for every machine u, the load u would reach if it also
+// carried task i — one pass over the structure-of-arrays rows instead of m
+// Trial calls. out must have length M. It returns false (out untouched)
+// when i's downstream demand is unknown. Each out[u] is bit-equal to the
+// corresponding Trial(i, u).
+func (p *Pricer) PriceAll(i app.TaskID, out []float64) bool {
+	d, ok := p.Demand(i)
+	if !ok {
+		return false
+	}
+	p.PriceAllAt(i, d, out)
+	return true
+}
+
+// PriceAllAt is PriceAll with an explicit downstream demand d, for callers
+// (the exact solver's bound) that price hypothetical demands rather than
+// the current one: out[u] = load[u] + (d·F(i,u))·w[i][u], the exact
+// floating-point expression of Trial and Assign.
+func (p *Pricer) PriceAllAt(i app.TaskID, d float64, out []float64) {
+	base := int(i) * p.m
+	inflRow := p.infl[base : base+p.m]
+	timRow := p.tim[base : base+p.m]
+	load := p.load[:p.m]
+	for u, f := range inflRow {
+		out[u] = load[u] + (d*f)*timRow[u]
+	}
 }
 
 // Assign sets a(i) = u, pricing exactly task i (its feeders are unassigned
@@ -221,7 +259,7 @@ func (p *Pricer) Assign(i app.TaskID, u platform.MachineID) error {
 	xi := d * p.infl[int(i)*p.m+int(u)]
 	p.savedLoad[i] = p.load[u]
 	p.savedMax[i] = p.max
-	nl := p.load[u] + xi*p.in.Platform.Time(i, u)
+	nl := p.load[u] + xi*p.tim[int(i)*p.m+int(u)]
 	p.load[u] = nl
 	if nl > p.max {
 		p.max = nl

@@ -146,14 +146,12 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 			s.typeW[ty] += c
 		}
 		land := math.Inf(1)
-		inflRow := s.infl[int(i)*s.m : (int(i)+1)*s.m]
-		wRow := s.in.Platform.Row(i)
+		s.pr.PriceAllAt(i, d, s.land)
 		for u := 0; u < s.m; u++ {
 			if !s.feasible(u, ty) {
 				continue
 			}
-			at := s.pr.Load(platform.MachineID(u)) + d*inflRow[u]*wRow[u]
-			if at < land {
+			if at := s.land[u]; at < land {
 				land = at
 			}
 		}

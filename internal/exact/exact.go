@@ -135,7 +135,6 @@ type solver struct {
 	rule    core.Rule
 	order   []app.TaskID
 	classOf []int
-	infl    []float64 // cached F(i,u), row-major (core.InflationTable)
 	noSym   bool
 	noOrder bool
 	bnd     *bounder
@@ -172,13 +171,15 @@ type searcher struct {
 	firstEmpty []int
 	noSym      bool
 
-	// infl caches F(i,u) row-major, shared read-only across workers.
-	infl []float64
-
 	// cand backs the per-depth child gathering (depth k owns the slice
 	// cand[k·m : (k+1)·m]); noOrder ablates the best-first sort.
 	cand    []childCand
 	noOrder bool
+
+	// land is the batch-pricing scratch: one PriceAllAt pass per node fills
+	// it with the would-be load of every landing, replacing m per-machine
+	// Trial expressions. Transient within one gather/bound step.
+	land []float64
 
 	// frames backs push/pop prefix replays (parallel root split).
 	frames []frame
@@ -263,7 +264,6 @@ func newSolver(in *core.Instance, opts Options) (*solver, error) {
 		rule:       opts.Rule,
 		order:      in.App.ReverseTopological(),
 		classOf:    machineClasses(in),
-		infl:       core.InflationTable(in),
 		noSym:      opts.DisableDominance,
 		noOrder:    opts.DisableOrder,
 		bud:        newBudget(opts),
@@ -324,15 +324,13 @@ func (sv *solver) greedyDive() {
 		i := s.order[k]
 		ty := s.in.App.Type(i)
 		demand, _ := s.pr.Demand(i)
-		inflRow := s.infl[int(i)*s.m : (int(i)+1)*s.m]
+		s.pr.PriceAllAt(i, demand, s.land)
 		best, bestLoad := -1, math.Inf(1)
 		for u := 0; u < s.m; u++ {
-			mu := platform.MachineID(u)
 			if !s.feasible(u, ty) || s.dominated(u) {
 				continue
 			}
-			xi := demand * inflRow[u]
-			if newLoad := s.pr.Load(mu) + xi*s.in.Platform.Time(i, mu); newLoad < bestLoad {
+			if newLoad := s.land[u]; newLoad < bestLoad {
 				best, bestLoad = u, newLoad
 			}
 		}
@@ -380,9 +378,9 @@ func (sv *solver) newSearcher(shared *incumbent) *searcher {
 		nOn:        make([]int, m),
 		firstEmpty: make([]int, m),
 		noSym:      sv.noSym,
-		infl:       sv.infl,
 		cand:       make([]childCand, n*m),
 		noOrder:    sv.noOrder,
+		land:       make([]float64, m),
 		frames:     make([]frame, n),
 		bnd:        sv.bnd,
 		shared:     shared,
@@ -473,19 +471,17 @@ func (s *searcher) dfs(k int) {
 func (s *searcher) children(k int, sharedP float64) []childCand {
 	i := s.order[k]
 	ty := s.in.App.Type(i)
-	// Root-first order guarantees i's demand is priced, so it is hoisted
-	// out of the candidate loop; the inflation and execution-time rows are
-	// hoisted table slices.
+	// Root-first order guarantees i's demand is priced, so all m landings
+	// are priced in one structure-of-arrays pass; the batch result is
+	// bit-equal to the per-machine expression the gather used to inline.
 	demand, _ := s.pr.Demand(i)
-	inflRow := s.infl[int(i)*s.m : (int(i)+1)*s.m]
-	wRow := s.in.Platform.Row(i)
+	s.pr.PriceAllAt(i, demand, s.land)
 	cands := s.cand[k*s.m : k*s.m : (k+1)*s.m]
 	for u := 0; u < s.m; u++ {
 		if !s.feasible(u, ty) || s.dominated(u) {
 			continue
 		}
-		xi := demand * inflRow[u]
-		newLoad := s.pr.Load(platform.MachineID(u)) + xi*wRow[u]
+		newLoad := s.land[u]
 		if newLoad >= s.bestPeriod || newLoad > sharedP {
 			continue // this branch can only tie or worsen the incumbent
 		}

@@ -74,6 +74,8 @@ type state struct {
 	nbFree       int    // machines not yet dedicated to any type
 	typesToGo    int    // types present in the app with no group yet
 	typeHasGroup []bool // per type
+
+	trial []float64 // batch-pricing scratch: one TrialAll row per task
 }
 
 const noType app.TypeID = -1
@@ -86,6 +88,7 @@ func newState(in *core.Instance) *state {
 		spec:         make([]app.TypeID, m),
 		nbFree:       m,
 		typeHasGroup: make([]bool, in.P()),
+		trial:        make([]float64, m),
 	}
 	for u := range s.spec {
 		s.spec[u] = noType
@@ -150,11 +153,13 @@ func (s *state) assign(i app.TaskID, u platform.MachineID) {
 	_ = s.ev.Assign(i, u)
 }
 
-// trialLoad returns the period machine u would reach if it also took task i:
-// its current load plus x[i]·w[i][u] with x[i] priced on u.
-func (s *state) trialLoad(i app.TaskID, u platform.MachineID) float64 {
-	t, _ := s.ev.Trial(i, u)
-	return t
+// trialRow batch-prices every landing of task i into the state's scratch
+// row and returns it: trial[u] is the period machine u would reach if it
+// also took i, bit-equal to m Evaluator.Trial calls but computed in one
+// structure-of-arrays pass. Valid until the next trialRow or assign.
+func (s *state) trialRow(i app.TaskID) []float64 {
+	s.ev.TrialAll(i, s.trial)
+	return s.trial
 }
 
 // maxLoad returns the current largest machine load (the period of the
@@ -180,25 +185,40 @@ func validate(in *core.Instance) error {
 	return nil
 }
 
+// costRow fills out[u], for every machine at once, with the incremental
+// cost of landing the current task (downstream demand d) on machine u —
+// the batched form of the H4 family's per-machine cost closures, walking
+// the instance's structure-of-arrays inflation and time rows. Each out[u]
+// must be bit-equal to the per-machine expression it replaces.
+type costRow func(d float64, inflRow, timRow, out []float64)
+
 // greedy runs the shared backward greedy used by the H4 family: for each
 // task (root-first) pick the admissible machine minimizing
 // load[u] + cost(i,u); ties break toward the lower machine index, matching
-// the listings' first-strict-improvement scan.
-func greedy(in *core.Instance, cost func(s *state, i app.TaskID, u platform.MachineID) float64) (*core.Mapping, error) {
+// the listings' first-strict-improvement scan. Loads and costs are gathered
+// in one batch row per task instead of m per-machine probes.
+func greedy(in *core.Instance, cost costRow) (*core.Mapping, error) {
 	if err := validate(in); err != nil {
 		return nil, err
 	}
 	s := newState(in)
+	m := in.M()
+	infl, tim := core.InflationTable(in), core.TimeTable(in)
+	loads := make([]float64, m)
+	costs := make([]float64, m)
 	for _, i := range in.App.ReverseTopological() {
 		ty := in.App.Type(i)
+		base := int(i) * m
+		cost(s.demand(i), infl[base:base+m], tim[base:base+m], costs)
+		s.ev.MachinePeriodsInto(loads)
 		best := platform.NoMachine
 		bestExec := math.Inf(1)
-		for u := 0; u < in.M(); u++ {
+		for u := 0; u < m; u++ {
 			mu := platform.MachineID(u)
 			if !s.canUse(mu, ty) {
 				continue
 			}
-			exec := s.load(mu) + cost(s, i, mu)
+			exec := loads[u] + costs[u]
 			if exec < bestExec {
 				bestExec = exec
 				best = mu

@@ -30,11 +30,12 @@ func H2(in *core.Instance, _ *rand.Rand, opts Options) (*core.Mapping, error) {
 	prio := rankPriorities(in)
 	return binarySearch(in, opts, func(s *state, i app.TaskID, budget float64) platform.MachineID {
 		ty := s.in.App.Type(i)
+		trial := s.trialRow(i)
 		for _, u := range prio[i] {
 			if !s.canUse(u, ty) {
 				continue
 			}
-			if s.trialLoad(i, u) <= budget {
+			if trial[u] <= budget {
 				return u
 			}
 		}

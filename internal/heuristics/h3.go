@@ -23,6 +23,7 @@ func H3(in *core.Instance, _ *rand.Rand, opts Options) (*core.Mapping, error) {
 	h := in.Platform.Heterogeneity()
 	return binarySearch(in, opts, func(s *state, i app.TaskID, budget float64) platform.MachineID {
 		ty := s.in.App.Type(i)
+		trial := s.trialRow(i)
 		best := platform.NoMachine
 		bestH := -1.0
 		bestExec := 0.0
@@ -31,7 +32,7 @@ func H3(in *core.Instance, _ *rand.Rand, opts Options) (*core.Mapping, error) {
 			if !s.canUse(mu, ty) {
 				continue
 			}
-			exec := s.trialLoad(i, mu)
+			exec := trial[u]
 			if exec > budget {
 				continue
 			}

@@ -3,9 +3,7 @@ package heuristics
 import (
 	"math/rand"
 
-	"microfab/internal/app"
 	"microfab/internal/core"
-	"microfab/internal/platform"
 )
 
 // H4 is the best-performance greedy (Algorithm 4). Each task goes to the
@@ -14,8 +12,10 @@ import (
 // demand = x[succ(i)] and F = 1/(1-f). Both the speed and the reliability
 // of the machine enter the choice.
 func H4(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
-	return greedy(in, func(s *state, i app.TaskID, u platform.MachineID) float64 {
-		return s.demand(i) * s.in.Platform.Time(i, u) * s.in.Failures.Inflation(i, u)
+	return greedy(in, func(d float64, inflRow, timRow, out []float64) {
+		for u := range out {
+			out[u] = d * timRow[u] * inflRow[u]
+		}
 	})
 }
 
@@ -25,8 +25,10 @@ func H4(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
 // best heuristic overall ("if we produce fast enough we overcome the
 // faults").
 func H4w(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
-	return greedy(in, func(s *state, i app.TaskID, u platform.MachineID) float64 {
-		return s.demand(i) * s.in.Platform.Time(i, u)
+	return greedy(in, func(d float64, _, timRow, out []float64) {
+		for u := range out {
+			out[u] = d * timRow[u]
+		}
 	})
 }
 
@@ -35,7 +37,9 @@ func H4w(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
 // performs poorly: minimizing the failure rate does not prevent choosing a
 // slow machine and thus a long period.
 func H4f(in *core.Instance, _ *rand.Rand, _ Options) (*core.Mapping, error) {
-	return greedy(in, func(s *state, i app.TaskID, u platform.MachineID) float64 {
-		return s.demand(i) * s.in.Failures.Inflation(i, u)
+	return greedy(in, func(d float64, inflRow, _, out []float64) {
+		for u := range out {
+			out[u] = d * inflRow[u]
+		}
 	})
 }

@@ -140,6 +140,7 @@ func BruteForce(in *core.Instance) (*core.Mapping, error) {
 	order := in.App.ReverseTopological()
 	ev := core.NewEvaluator(in)
 	used := make([]bool, m)
+	trial := make([]float64, n*m) // depth k owns trial[k·m : (k+1)·m]
 	var best *core.Mapping
 	bestPeriod := math.Inf(1)
 	var rec func(k int)
@@ -152,12 +153,16 @@ func BruteForce(in *core.Instance) (*core.Mapping, error) {
 			return
 		}
 		i := order[k]
+		// One batch pass prices every landing of i; per-depth rows keep the
+		// values valid across the recursive calls below.
+		row := trial[k*m : (k+1)*m]
+		ok := ev.TrialAll(i, row)
 		for u := 0; u < m; u++ {
 			if used[u] {
 				continue
 			}
 			mu := platform.MachineID(u)
-			if trial, ok := ev.Trial(i, mu); ok && trial >= bestPeriod {
+			if ok && row[u] >= bestPeriod {
 				continue // loads only grow down the branch
 			}
 			used[u] = true

@@ -34,6 +34,8 @@ import (
 
 	"microfab/internal/app"
 	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/heuristics"
 	"microfab/internal/platform"
 )
 
@@ -93,6 +95,27 @@ type Options struct {
 	// mapping is identical either way (see TestFilterResultInvariant);
 	// the switch exists for ablations and the invariance gate itself.
 	DisableFilter bool
+
+	// DisableScreen turns the load-delta candidate screens off, so the
+	// descents price every admissible candidate like the pre-screen
+	// engine. The screens skip only moves whose batch-priced load lower
+	// bound proves they would be rejected, so the refined mapping is
+	// identical either way (see TestScreenResultInvariant). They
+	// complement the critical-machine filter on chain workloads where the
+	// filter is vacuous (every task feeds the critical machine).
+	DisableScreen bool
+
+	// Restarts makes HillClimb a multi-start descent: after refining the
+	// caller's seed it descends from fresh H-family constructive seeds
+	// (H4, H4f, H2, H3, H1 cycled) and returns the strict best of all
+	// runs (0 or 1 = single descent). Each restart draws its RNG from
+	// gen.DeriveRNG(RestartSeed, r), so the result is deterministic
+	// regardless of how callers schedule the work. Ignored by Anneal.
+	Restarts int
+
+	// RestartSeed derives the per-restart RNG streams (only H1 consumes
+	// randomness). Two runs with equal seeds and options are identical.
+	RestartSeed int64
 }
 
 // DefaultOptions returns the options every facade entry point starts
@@ -175,6 +198,17 @@ type engine struct {
 	markedOn  []int
 	markStamp int
 
+	// Load-delta candidate screens (see relocScores, swapRejected): the
+	// shared structure-of-arrays inflation/time rows plus the batch
+	// scoring scratch. score[v] holds the relocate lower bounds of the
+	// task last scored; slope[u] the per-machine feeder contributions.
+	screen bool
+	inflT  []float64
+	timT   []float64
+	score  []float64
+	slope  []float64
+	walk   []app.TaskID
+
 	probes    int
 	maxProbes int
 
@@ -207,6 +241,11 @@ func newEngine(in *core.Instance, seed *core.Mapping, opt Options) (*engine, err
 		filter:    !opt.DisableFilter,
 		mark:      make([]int, in.N()),
 		markedOn:  make([]int, in.M()),
+		screen:    !opt.DisableScreen,
+		inflT:     core.InflationTable(in),
+		timT:      core.TimeTable(in),
+		score:     make([]float64, in.M()),
+		slope:     make([]float64, in.M()),
 		maxProbes: opt.maxProbes(in.N(), in.M()),
 	}
 	for u := range e.spec {
@@ -391,6 +430,93 @@ func (e *engine) candidateGroup(u platform.MachineID) bool {
 	return !e.filter || e.markedOn[u] > 0
 }
 
+// screenMargin converts the acceptance threshold into the screens'
+// skip threshold: a probe is skipped only when its load lower bound
+// reaches cur - eps/2, half the acceptance tolerance away from the
+// rejection line. The half-eps margin covers every floating-point
+// discrepancy between the screens' flat-array arithmetic and the
+// ledger's compensated sums (ulp scale, orders of magnitude below eps),
+// so a skipped probe is provably one the descent would have rejected —
+// the screens never change the result (TestScreenResultInvariant).
+func screenMargin(cur float64) float64 { return cur - improveEps(cur)/2 }
+
+// relocScores fills the scoring scratch with, per machine v, a sound
+// lower bound on the period after relocating task i to v — all m targets
+// scored in one batch pass instead of m probe round trips. The bound is
+// the destination's own resulting load: TrialAll gives
+// period(v) + x_i(v)·w(i,v), and the correction term accounts for i's
+// transitive feeders already hosted on v, whose x-values scale by exactly
+// r = F(i,v)/F(i,a(i)) when i moves (x is a product of inflations along
+// the successor chain, and only i's factor changes). The true new load of
+// v is period(v) + x_i(v)·w(i,v) + (r-1)·slope(v) with slope(v) the
+// feeders' current contribution on v — an equality, not an estimate; it
+// lower-bounds the new period because the period is the maximum load.
+// Valid until the next kept move (reverted probes only drift ulps, which
+// screenMargin absorbs).
+func (e *engine) relocScores(i app.TaskID) []float64 {
+	e.ev.TrialAll(i, e.score)
+	m := len(e.score)
+	for u := range e.slope {
+		e.slope[u] = 0
+	}
+	e.walk = append(e.walk[:0], i)
+	for len(e.walk) > 0 {
+		t := e.walk[len(e.walk)-1]
+		e.walk = e.walk[:len(e.walk)-1]
+		for _, f := range e.in.App.Predecessors(t) {
+			e.slope[e.ev.Machine(f)] += e.ev.Contribution(f)
+			e.walk = append(e.walk, f)
+		}
+	}
+	base := int(i) * m
+	inflRow := e.inflT[base : base+m]
+	fu := inflRow[e.ev.Machine(i)]
+	for v := 0; v < m; v++ {
+		if s := e.slope[v]; s != 0 {
+			e.score[v] += (inflRow[v]/fu - 1) * s
+		}
+	}
+	return e.score
+}
+
+// swapRejected reports whether swapping i and j is provably rejected at
+// the screened threshold, in O(1): after the swap, every task kept on
+// machine v keeps at least the fraction
+// s_i·s_j = min(1, F(i,v)/F(i,u))·min(1, F(j,u)/F(j,v)) of its contribution
+// (only i's and j's inflation factors change anywhere in the x products),
+// and the arriving task's new contribution is bounded the same way, so
+//
+//	load'(v) >= (period(v) - c_j)·s_i·s_j + F(i,v)·d_i·w(i,v)·s_j
+//
+// and symmetrically for u. When both destination bounds already reach the
+// threshold the swap cannot be accepted and the probe is skipped.
+func (e *engine) swapRejected(i, j app.TaskID, thresh float64) bool {
+	if !e.screen {
+		return false
+	}
+	u, v := e.ev.Machine(i), e.ev.Machine(j)
+	m := len(e.score)
+	bi, bj := int(i)*m, int(j)*m
+	ri := e.inflT[bi+int(v)] / e.inflT[bi+int(u)]
+	rj := e.inflT[bj+int(u)] / e.inflT[bj+int(v)]
+	si, sj := ri, rj
+	if si > 1 {
+		si = 1
+	}
+	if sj > 1 {
+		sj = 1
+	}
+	di, _ := e.ev.Demand(i)
+	dj, _ := e.ev.Demand(j)
+	newCi := (e.inflT[bi+int(v)] * di) * e.timT[bi+int(v)]
+	newCj := (e.inflT[bj+int(u)] * dj) * e.timT[bj+int(u)]
+	lb := (e.ev.MachinePeriod(v)-e.ev.Contribution(j))*(si*sj) + newCi*sj
+	if o := (e.ev.MachinePeriod(u)-e.ev.Contribution(i))*(si*sj) + newCj*si; o > lb {
+		lb = o
+	}
+	return lb >= thresh
+}
+
 // probeRelocate prices the move i -> v: apply, read, and keep it only when
 // it improves cur by more than the tolerance. Returns the new period and
 // whether the move was kept (reverted otherwise).
@@ -434,9 +560,65 @@ func (e *engine) probeGroup(u, v platform.MachineID, cur float64) (float64, bool
 // found (cheap, good for polish passes); otherwise each round finds the
 // steepest single move and applies it.
 //
+// With Options.Restarts > 1 the descent becomes a deterministic
+// multi-start: after the caller's seed, fresh H-family constructive seeds
+// give high-failure-regime descents stranded in deep local optima new
+// basins to fall into, and the strict best of all runs wins (see
+// restartSeed).
+//
 // The result is never worse than the seed: only strictly improving moves
-// are kept.
+// are kept, and restart results replace it only on strict improvement.
 func HillClimb(in *core.Instance, seed *core.Mapping, opt Options) (*Result, error) {
+	res, err := hillClimbOnce(in, seed, opt)
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < opt.Restarts; r++ {
+		mp := restartSeed(in, opt, r)
+		if mp == nil {
+			continue
+		}
+		rr, err := hillClimbOnce(in, mp, opt)
+		if err != nil {
+			continue // a restart seed that fails to load is just no restart
+		}
+		res.Probes += rr.Probes
+		res.Accepted += rr.Accepted
+		if rr.Period < res.Period {
+			res.Period = rr.Period
+			res.Mapping = rr.Mapping
+		}
+	}
+	return res, nil
+}
+
+// restartFamily cycles the constructive heuristics the restarts draw
+// their seeds from, best-first (H4w is the caller's usual seed already).
+var restartFamily = []heuristics.Func{
+	heuristics.H4,
+	heuristics.H4f,
+	heuristics.H2,
+	heuristics.H3,
+	heuristics.H1,
+}
+
+// restartSeed builds the r-th restart's constructive seed (r >= 1): the
+// H-family heuristics cycled in a fixed order, each drawing randomness
+// (only H1 consumes any) from gen.DeriveRNG(RestartSeed, r) — independent
+// deterministic streams, so multi-start results never depend on worker
+// scheduling. Seeds that fail the rule (one-to-one instances, infeasible
+// regimes) are skipped: nil means no seed for this slot.
+func restartSeed(in *core.Instance, opt Options, r int) *core.Mapping {
+	h := restartFamily[(r-1)%len(restartFamily)]
+	mp, err := h(in, gen.DeriveRNG(opt.RestartSeed, int64(r)), heuristics.Options{})
+	if err != nil || mp.CheckRule(in.App, opt.Rule) != nil {
+		return nil
+	}
+	return mp
+}
+
+// hillClimbOnce is one descent from one seed.
+func hillClimbOnce(in *core.Instance, seed *core.Mapping, opt Options) (*Result, error) {
 	e, err := newEngine(in, seed, opt)
 	if err != nil {
 		return nil, err
@@ -472,15 +654,25 @@ func (e *engine) descendFirst(cur float64, moves Moves, res *Result) (float64, b
 			if !e.candidate(id) {
 				continue // provably cannot lower the critical load
 			}
+			var scores []float64
+			if e.screen {
+				scores = e.relocScores(id)
+			}
 			for v := 0; v < m && e.budgetLeft(); v++ {
 				mv := platform.MachineID(v)
 				if !e.admissible(id, mv) {
 					continue
 				}
+				if scores != nil && scores[v] >= screenMargin(cur) {
+					continue // destination load alone already rejects the move
+				}
 				if p, ok := e.probeRelocate(id, mv, cur); ok {
 					cur, improved = p, true
 					res.Accepted++
 					e.refreshMarks()
+					if e.screen {
+						scores = e.relocScores(id) // id moved: rescore
+					}
 				}
 			}
 		}
@@ -493,6 +685,9 @@ func (e *engine) descendFirst(cur float64, moves Moves, res *Result) (float64, b
 					continue
 				}
 				if !e.swapAdmissible(a, b) {
+					continue
+				}
+				if e.swapRejected(a, b, screenMargin(cur)) {
 					continue
 				}
 				if p, ok := e.probeSwap(a, b, cur); ok {
@@ -550,11 +745,18 @@ func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64
 			if !e.candidate(id) {
 				continue // provably cannot lower the critical load
 			}
+			var scores []float64
+			if e.screen {
+				scores = e.relocScores(id) // nothing is kept mid-scan, so one row serves all targets
+			}
 			u := e.ev.Machine(id)
 			for v := 0; v < m && e.budgetLeft(); v++ {
 				mv := platform.MachineID(v)
 				if !e.admissible(id, mv) {
 					continue
+				}
+				if scores != nil && scores[v] >= screenMargin(bestP) {
+					continue // destination load alone already rejects the move
 				}
 				e.probes++
 				e.relocate(id, mv)
@@ -571,6 +773,9 @@ func (e *engine) descendSteepest(cur float64, moves Moves, res *Result) (float64
 					continue
 				}
 				if !e.swapAdmissible(a, b) {
+					continue
+				}
+				if e.swapRejected(a, b, screenMargin(bestP)) {
 					continue
 				}
 				e.probes++

@@ -235,14 +235,20 @@ func solveOTO(in *Instance, _ int64) (*Mapping, error) {
 }
 
 // solveLS is the hill-climbing solver: an H4w seed refined by steepest
-// descent over the relocate/swap/group neighborhood (internal/search).
-// Fully deterministic; the seed argument is unused.
+// descent over the relocate/swap/group neighborhood (internal/search),
+// plus deterministic multi-start restarts from the other constructive
+// heuristics so high-failure-regime descents escape deep local optima.
+// Fully deterministic; the seed argument is unused (the restart streams
+// derive from a fixed facade key, so "ls" stays seed-independent).
 func solveLS(in *Instance, _ int64) (*Mapping, error) {
 	base, err := heuristics.H4w(in, nil, heuristics.Options{})
 	if err != nil {
 		return nil, err
 	}
-	res, err := search.HillClimb(in, base, search.DefaultOptions())
+	opt := search.DefaultOptions()
+	opt.Restarts = 4
+	opt.RestartSeed = gen.StringSeed("microfab/ls-restarts")
+	res, err := search.HillClimb(in, base, opt)
 	if err != nil {
 		return nil, err
 	}
