@@ -105,9 +105,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mfbench:", err)
 		os.Exit(1)
 	}
-	regressions, gated := compareReports(base, report, *threshold)
-	if gated == 0 {
-		fmt.Fprintln(os.Stderr, "mfbench: baseline shares no benchmarks with this run — the gate checked nothing")
+	regressions, gated, err := compareReports(base, report, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mfbench:", err)
 		os.Exit(1)
 	}
 	for _, r := range regressions {
@@ -176,8 +176,11 @@ func readReport(path string) (Report, error) {
 // its ns/op grew by more than threshold percent, or any of its throughput
 // metrics (unit ending in "/s") dropped by more than threshold percent.
 // It returns the regression descriptions (deterministic order) and how
-// many benchmarks the gate actually covered.
-func compareReports(base, cur Report, threshold float64) (regressions []string, gated int) {
+// many benchmarks the gate actually covered. A gate that covered nothing
+// is an error, not a clean zero-value diff: after a benchmark rename the
+// two reports share no names and a silent pass would retire the gate —
+// the diagnostic names both sides so the rename is obvious.
+func compareReports(base, cur Report, threshold float64) (regressions []string, gated int, err error) {
 	baseByName := make(map[string]Entry, len(base.Benchmarks))
 	for _, e := range base.Benchmarks {
 		baseByName[e.Name] = e
@@ -229,7 +232,32 @@ func compareReports(base, cur Report, threshold float64) (regressions []string, 
 			gated++
 		}
 	}
-	return regressions, gated
+	if gated == 0 {
+		return nil, 0, fmt.Errorf(
+			"baseline shares no gateable benchmark names with this run — the gate would check nothing (renamed benchmarks? regenerate the baseline)\n  baseline has: %s\n  this run has: %s",
+			sampleNames(base), sampleNames(cur))
+	}
+	return regressions, gated, nil
+}
+
+// sampleNames lists up to five benchmark names of a report for the
+// no-overlap diagnostic.
+func sampleNames(r Report) string {
+	if len(r.Benchmarks) == 0 {
+		return "(no benchmarks)"
+	}
+	names := make([]string, 0, 5)
+	for _, e := range r.Benchmarks {
+		names = append(names, e.Name)
+		if len(names) == 5 {
+			break
+		}
+	}
+	s := strings.Join(names, ", ")
+	if len(r.Benchmarks) > 5 {
+		s += fmt.Sprintf(", … (%d total)", len(r.Benchmarks))
+	}
+	return s
 }
 
 // parseMetrics reads the "<value> <unit>" pairs of a benchmark line tail.

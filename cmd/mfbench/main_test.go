@@ -72,45 +72,56 @@ func TestCompareReports(t *testing.T) {
 		entry("BenchmarkB", map[string]float64{"ns/op": 900, "nodes/s": 4.5e6}),
 		entry("BenchmarkNew", map[string]float64{"ns/op": 1e9}), // not in baseline: never gated
 	)
-	regs, gated := compareReports(base, cur, 20)
-	if len(regs) != 0 || gated != 2 {
-		t.Fatalf("clean run flagged: regs=%v gated=%d", regs, gated)
+	regs, gated, err := compareReports(base, cur, 20)
+	if err != nil || len(regs) != 0 || gated != 2 {
+		t.Fatalf("clean run flagged: regs=%v gated=%d err=%v", regs, gated, err)
 	}
 
 	// ns/op growth beyond the threshold must be flagged.
 	cur = report(entry("BenchmarkA", map[string]float64{"ns/op": 130}))
-	regs, gated = compareReports(base, cur, 20)
+	regs, gated, _ = compareReports(base, cur, 20)
 	if len(regs) != 1 || gated != 1 || !strings.Contains(regs[0], "BenchmarkA") {
 		t.Fatalf("30%% ns/op growth not flagged: regs=%v gated=%d", regs, gated)
 	}
 
 	// A throughput drop is a regression even when ns/op looks fine.
 	cur = report(entry("BenchmarkB", map[string]float64{"ns/op": 1000, "nodes/s": 3e6}))
-	regs, _ = compareReports(base, cur, 20)
+	regs, _, _ = compareReports(base, cur, 20)
 	if len(regs) != 1 || !strings.Contains(regs[0], "nodes/s") {
 		t.Fatalf("40%% nodes/s drop not flagged: %v", regs)
 	}
 
 	// Throughput growth and ns/op shrink never trip the gate.
 	cur = report(entry("BenchmarkB", map[string]float64{"ns/op": 10, "nodes/s": 5e8}))
-	if regs, _ = compareReports(base, cur, 20); len(regs) != 0 {
+	if regs, _, _ = compareReports(base, cur, 20); len(regs) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", regs)
 	}
 
 	// Exactly at the limit passes; a hair over fails.
 	cur = report(entry("BenchmarkA", map[string]float64{"ns/op": 120}))
-	if regs, _ = compareReports(base, cur, 20); len(regs) != 0 {
+	if regs, _, _ = compareReports(base, cur, 20); len(regs) != 0 {
 		t.Fatalf("exactly +20%% flagged: %v", regs)
 	}
 	cur = report(entry("BenchmarkA", map[string]float64{"ns/op": 120.2}))
-	if regs, _ = compareReports(base, cur, 20); len(regs) != 1 {
+	if regs, _, _ = compareReports(base, cur, 20); len(regs) != 1 {
 		t.Fatalf("+20.2%% not flagged: %v", regs)
 	}
 
-	// Disjoint reports gate nothing — main turns that into a hard error.
-	regs, gated = compareReports(base, report(entry("BenchmarkOther", map[string]float64{"ns/op": 1})), 20)
-	if len(regs) != 0 || gated != 0 {
-		t.Fatalf("disjoint compare: regs=%v gated=%d", regs, gated)
+	// Disjoint reports (the post-rename shape) are a hard error with a
+	// diagnostic naming both sides — never a clean zero-value diff.
+	regs, gated, err = compareReports(base, report(entry("BenchmarkOther", map[string]float64{"ns/op": 1})), 20)
+	if err == nil || len(regs) != 0 || gated != 0 {
+		t.Fatalf("disjoint compare not rejected: regs=%v gated=%d err=%v", regs, gated, err)
+	}
+	for _, want := range []string{"BenchmarkA", "BenchmarkOther", "baseline"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("disjoint diagnostic %q does not mention %q", err, want)
+		}
+	}
+	// Same failure when names overlap but none carries a gateable metric.
+	_, _, err = compareReports(base, report(entry("BenchmarkA", map[string]float64{"B/op": 12})), 20)
+	if err == nil {
+		t.Fatal("metric-free overlap passed the gate")
 	}
 
 	// -count>1 duplicate lines: only the first measurement is gated.
@@ -118,7 +129,7 @@ func TestCompareReports(t *testing.T) {
 		entry("BenchmarkA", map[string]float64{"ns/op": 110}),
 		entry("BenchmarkA", map[string]float64{"ns/op": 990}),
 	}}
-	if regs, _ = compareReports(base, cur, 20); len(regs) != 0 {
+	if regs, _, _ = compareReports(base, cur, 20); len(regs) != 0 {
 		t.Fatalf("duplicate rerun gated: %v", regs)
 	}
 }
@@ -138,7 +149,7 @@ ok  	microfab/internal/core	9.262s
 	if rep.Benchmarks[2].Metrics["nodes/s"] != 5045648 {
 		t.Fatalf("nodes/s lost: %+v", rep.Benchmarks[2])
 	}
-	if regs, gated := compareReports(rep, rep, 20); len(regs) != 0 || gated != 3 {
-		t.Fatalf("self-compare: regs=%v gated=%d", regs, gated)
+	if regs, gated, err := compareReports(rep, rep, 20); err != nil || len(regs) != 0 || gated != 3 {
+		t.Fatalf("self-compare: regs=%v gated=%d err=%v", regs, gated, err)
 	}
 }

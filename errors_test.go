@@ -1,0 +1,90 @@
+// Request-facing error-path coverage of the facade: every registered
+// solver string must return a mapping or an error — never both nil, never
+// an incomplete mapping with a nil error — and the failure modes a
+// long-lived daemon hits on every malformed request (unknown solver,
+// negative budgets, starved exact runs) must be typed.
+package microfab_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	microfab "microfab"
+)
+
+// TestSolveEverySolverString: the table test over the full registry — each
+// listed method, the "mip" alias, and a batch of junk names.
+func TestSolveEverySolverString(t *testing.T) {
+	// n <= m with >= 2 types: every rule (incl. one-to-one solvers) is
+	// feasible; "oto" still needs task-only failures, so it may error —
+	// the invariant under test is mapping XOR error, not success.
+	in, err := microfab.GenerateChain(microfab.CampaignParams(5, 2, 6), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := append(microfab.Solvers(), "mip")
+	for _, method := range methods {
+		mp, err := microfab.Solve(in, method, 1)
+		if (mp == nil) == (err == nil) {
+			t.Fatalf("Solve(%q): mapping=%v err=%v — want exactly one of the two", method, mp, err)
+		}
+		if err != nil {
+			if errors.Is(err, microfab.ErrUnknownSolver) {
+				t.Fatalf("Solve(%q) is registered but reported ErrUnknownSolver: %v", method, err)
+			}
+			continue
+		}
+		if !mp.Complete() {
+			t.Fatalf("Solve(%q): incomplete mapping with nil error", method)
+		}
+		if _, err := microfab.Evaluate(in, mp); err != nil {
+			t.Fatalf("Solve(%q): mapping does not evaluate: %v", method, err)
+		}
+	}
+	for _, junk := range []string{"", "H9", "Exact", "EXACT", "ls ", "anneal2", "oto\x00"} {
+		mp, err := microfab.Solve(in, junk, 1)
+		if mp != nil || !errors.Is(err, microfab.ErrUnknownSolver) {
+			t.Fatalf("Solve(%q): mapping=%v err=%v, want ErrUnknownSolver", junk, mp, err)
+		}
+	}
+}
+
+// TestSolveExactBudgetErrors: negative budgets are typed rejections;
+// starved-but-warm searches return a usable incumbent; starved cold
+// searches return the typed exhaustion error — never nil/nil.
+func TestSolveExactBudgetErrors(t *testing.T) {
+	in, err := microfab.GenerateChain(microfab.CampaignParams(12, 3, 6), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []microfab.ExactOptions{
+		{Rule: microfab.Specialized, MaxNodes: -5},
+		{Rule: microfab.Specialized, TimeLimit: -time.Millisecond},
+		{Rule: microfab.Specialized, Workers: -1},
+	} {
+		res, err := microfab.SolveExact(in, opts)
+		if res != nil || !errors.Is(err, microfab.ErrBadBudget) {
+			t.Fatalf("opts %+v: res=%v err=%v, want ErrBadBudget", opts, res, err)
+		}
+	}
+	// One node of budget, but the greedy dive still seeds an incumbent:
+	// a usable (complete, rule-respecting) mapping with Proven=false.
+	res, err := microfab.SolveExact(in, microfab.ExactOptions{Rule: microfab.Specialized, MaxNodes: 1})
+	if err != nil {
+		t.Fatalf("starved warm search errored: %v", err)
+	}
+	if res.Proven || res.Mapping == nil || !res.Mapping.Complete() {
+		t.Fatalf("starved warm search: proven=%v mapping=%v", res.Proven, res.Mapping)
+	}
+	if err := res.Mapping.CheckRule(in.App, microfab.Specialized); err != nil {
+		t.Fatalf("starved incumbent breaks the rule: %v", err)
+	}
+	// Cold (dive and warm start disabled) and starved: the typed error.
+	res, err = microfab.SolveExact(in, microfab.ExactOptions{
+		Rule: microfab.Specialized, MaxNodes: 1, DisableOrder: true,
+	})
+	if res != nil || !errors.Is(err, microfab.ErrBudgetExhausted) {
+		t.Fatalf("starved cold search: res=%v err=%v, want ErrBudgetExhausted", res, err)
+	}
+}

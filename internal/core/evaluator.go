@@ -112,6 +112,23 @@ func (e *Evaluator) Clone() *Evaluator {
 	}
 }
 
+// Rebind repoints the Evaluator at another instance of the same (n, m)
+// shape and resets every task to unassigned, reusing all allocated state
+// (the Pricer.Rebind counterpart backing the serving layer's per-(n, m)
+// engine pools). It reports false — receiver untouched — when the shapes
+// differ.
+func (e *Evaluator) Rebind(in *Instance) bool {
+	if in.N() != len(e.assign) || in.M() != len(e.led.period) {
+		return false
+	}
+	e.in = in
+	e.Reset()
+	return true
+}
+
+// M returns the number of machines covered.
+func (e *Evaluator) M() int { return len(e.led.period) }
+
 // Reset returns the Evaluator to the all-unassigned state.
 func (e *Evaluator) Reset() {
 	for i := range e.assign {

@@ -125,6 +125,25 @@ func (p *Pricer) Clone() *Pricer {
 	}
 }
 
+// Rebind repoints the Pricer at another instance of the same (n, m) shape
+// and resets every task to unassigned, reusing all allocated state. It
+// reports false — receiver untouched — when the shapes differ. Rebinding
+// is what lets the serving layer keep per-(n, m) sync.Pools of Pricers:
+// a pooled engine serves a stream of distinct same-shape instances without
+// a single steady-state allocation.
+func (p *Pricer) Rebind(in *Instance) bool {
+	if in.N() != len(p.assign) || in.M() != p.m {
+		return false
+	}
+	p.in = in
+	p.infl, p.tim = in.tables()
+	p.Reset()
+	return true
+}
+
+// M returns the number of machines covered.
+func (p *Pricer) M() int { return p.m }
+
 // Reset returns the Pricer to the all-unassigned state.
 func (p *Pricer) Reset() {
 	for i := range p.assign {

@@ -1,0 +1,120 @@
+// Rebind contract: a pooled engine repointed at another same-shape
+// instance must behave bit-identically to a freshly allocated one, and a
+// shape mismatch must refuse without touching the receiver.
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/platform"
+)
+
+func rebindInstances(t *testing.T) (a, b, other *core.Instance) {
+	t.Helper()
+	var err error
+	if a, err = gen.Chain(gen.Default(12, 3, 5), gen.RNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = gen.Chain(gen.Default(12, 3, 5), gen.RNG(2)); err != nil {
+		t.Fatal(err)
+	}
+	if other, err = gen.Chain(gen.Default(10, 3, 5), gen.RNG(3)); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, other
+}
+
+// fillEngines walks the reverse-topological order assigning task i to
+// machine i%m on both engines, comparing every step.
+func comparePricers(t *testing.T, in *core.Instance, got, want *core.Pricer) {
+	t.Helper()
+	m := in.M()
+	for _, i := range in.App.ReverseTopological() {
+		u := platform.MachineID(int(i) % m)
+		if err := got.Assign(i, u); err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Assign(i, u); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Max()) != math.Float64bits(want.Max()) {
+			t.Fatalf("task %d: rebound pricer max %v, fresh %v", i, got.Max(), want.Max())
+		}
+	}
+	for u := 0; u < m; u++ {
+		mu := platform.MachineID(u)
+		if math.Float64bits(got.Load(mu)) != math.Float64bits(want.Load(mu)) {
+			t.Fatalf("machine %d: rebound load %v, fresh %v", u, got.Load(mu), want.Load(mu))
+		}
+	}
+}
+
+func TestPricerRebind(t *testing.T) {
+	a, b, other := rebindInstances(t)
+	p := core.NewPricer(a)
+	// Dirty the engine on a first.
+	for _, i := range a.App.ReverseTopological() {
+		if err := p.Assign(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Rebind(other) {
+		t.Fatal("rebind accepted a shape mismatch (n=10 vs 12)")
+	}
+	if !p.Complete() {
+		t.Fatal("failed rebind touched the receiver")
+	}
+	if !p.Rebind(b) {
+		t.Fatal("same-shape rebind refused")
+	}
+	if p.Complete() || p.Max() != 0 {
+		t.Fatalf("rebind did not reset: nAssigned complete=%v max=%v", p.Complete(), p.Max())
+	}
+	comparePricers(t, b, p, core.NewPricer(b))
+}
+
+func TestEvaluatorRebind(t *testing.T) {
+	a, b, other := rebindInstances(t)
+	e := core.NewEvaluator(a)
+	for _, i := range a.App.ReverseTopological() {
+		if err := e.Assign(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Rebind(other) {
+		t.Fatal("rebind accepted a shape mismatch")
+	}
+	if !e.Rebind(b) {
+		t.Fatal("same-shape rebind refused")
+	}
+	fresh := core.NewEvaluator(b)
+	m := b.M()
+	for _, i := range b.App.ReverseTopological() {
+		u := platform.MachineID(int(i) % m)
+		if err := e.Assign(i, u); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Assign(i, u); err != nil {
+			t.Fatal(err)
+		}
+		gp, _ := e.Best()
+		wp, _ := fresh.Best()
+		if math.Float64bits(gp) != math.Float64bits(wp) {
+			t.Fatalf("task %d: rebound evaluator period %v, fresh %v", i, gp, wp)
+		}
+	}
+	// And the from-scratch oracle agrees.
+	ev, err := core.Evaluate(b, e.Mapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := e.Best(); math.Abs(p-ev.Period) > 1e-12*ev.Period {
+		t.Fatalf("rebound evaluator period %v, Evaluate %v", p, ev.Period)
+	}
+	if e.M() != m || core.NewPricer(b).M() != m {
+		t.Fatalf("M() accessors broken: %d vs %d", e.M(), m)
+	}
+}

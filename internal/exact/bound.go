@@ -22,6 +22,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -250,17 +251,18 @@ func waterfill(W []float64, ded []int, m int, alloc []int) float64 {
 const nodeBatch = 256
 
 // budget is the search allowance shared by every worker of one Solve call:
-// a global node pool, a wall-clock deadline, and a stop flag any worker can
-// raise.
+// a global node pool, a wall-clock deadline, a cancellation context, and a
+// stop flag any worker can raise.
 type budget struct {
 	reserved atomic.Int64
 	maxNodes int64
 	deadline time.Time
+	ctx      context.Context // nil = not cancellable
 	stop     atomic.Bool
 }
 
 func newBudget(o Options) *budget {
-	b := &budget{maxNodes: o.maxNodes()}
+	b := &budget{maxNodes: o.maxNodes(), ctx: o.Ctx}
 	if o.TimeLimit > 0 {
 		b.deadline = time.Now().Add(o.TimeLimit)
 	}
@@ -268,8 +270,15 @@ func newBudget(o Options) *budget {
 }
 
 // grab reserves up to nodeBatch nodes from the pool; 0 means the budget is
-// exhausted (and raises the stop flag).
+// exhausted (and raises the stop flag). Cancellation is checked here, at
+// every reservation, so a cancelled search stops within one nodeBatch per
+// worker instead of grinding through the rest of its reserved pool — the
+// latency a request-facing caller sees between cancel and return.
 func (b *budget) grab() int64 {
+	if b.ctx != nil && b.ctx.Err() != nil {
+		b.stop.Store(true)
+		return 0
+	}
 	for {
 		cur := b.reserved.Load()
 		n := b.maxNodes - cur
@@ -338,6 +347,10 @@ type incumbent struct {
 	mu      sync.Mutex
 	period  float64
 	mapping *core.Mapping
+
+	// onImprove, when set, fires under mu every time the stored pair
+	// improves (Options.OnImprove — the serving layer's incumbent stream).
+	onImprove func(float64, *core.Mapping)
 }
 
 func newIncumbent(period float64, mapping *core.Mapping) *incumbent {
@@ -367,6 +380,9 @@ func (inc *incumbent) offer(p float64, mp *core.Mapping) {
 	inc.mu.Lock()
 	if p < inc.period {
 		inc.period, inc.mapping = p, mp
+		if inc.onImprove != nil {
+			inc.onImprove(p, mp)
+		}
 	}
 	inc.mu.Unlock()
 }

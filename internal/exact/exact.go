@@ -51,6 +51,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -62,10 +63,43 @@ import (
 	"microfab/internal/platform"
 )
 
+// Typed request-facing errors. A long-lived caller (the serve daemon) keys
+// its status codes off these with errors.Is, so Solve never signals a
+// malformed or exhausted request through a bare formatted string — and
+// never through a nil mapping with a nil error.
+var (
+	// ErrBadBudget rejects a negative node budget, time limit or worker
+	// count before the search starts.
+	ErrBadBudget = errors.New("negative budget")
+	// ErrInfeasible means the search space was exhausted without finding
+	// any rule-feasible mapping: the instance itself admits none.
+	ErrInfeasible = errors.New("no feasible mapping")
+	// ErrBudgetExhausted means the budget (nodes, deadline or context)
+	// stopped the search before any feasible mapping was found. A warm
+	// start or the greedy restart dive almost always provides an incumbent,
+	// so this surfaces only on searches that were both cold and starved.
+	ErrBudgetExhausted = errors.New("budget exhausted before any feasible mapping")
+)
+
 // Options bounds the search.
 type Options struct {
 	// Rule defaults to Specialized.
 	Rule core.Rule
+	// Ctx cancels the search (nil = never). Workers observe cancellation
+	// when they reserve their next node batch from the shared budget, so a
+	// cancelled search stops within nodeBatch nodes per worker and returns
+	// its best incumbent with Proven=false.
+	Ctx context.Context
+	// OnImprove, when non-nil, is invoked every time the best-known
+	// complete solution improves — the serving layer streams incumbents to
+	// clients through it. It is called under an internal lock (keep it
+	// cheap and non-blocking) and the mapping must not be mutated. The
+	// callback does not fire for the initial warm start; read that off the
+	// final Result (or pre-compute it) instead. The streamed period is the
+	// search's own price of the mapping, which can differ from the
+	// Evaluate-normalised Result.Period in the last ulp. Enabling the
+	// callback never changes the nodes explored or the result.
+	OnImprove func(period float64, m *core.Mapping)
 	// MaxNodes caps explored partial assignments (0 = 50 million). The cap
 	// is global: a parallel search shares one atomic node pool across its
 	// workers, so Workers=N never explores more nodes than Workers=1.
@@ -139,6 +173,8 @@ type solver struct {
 	noOrder bool
 	bnd     *bounder
 	bud     *budget
+
+	onImprove func(float64, *core.Mapping)
 
 	warmPeriod float64
 	warm       *core.Mapping
@@ -243,7 +279,16 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 	if w := opts.workers(); w > 1 {
 		return sv.solveParallel(w)
 	}
-	s := sv.newSearcher(nil)
+	// A sequential search with an OnImprove callback routes improvements
+	// through a (single-owner) shared incumbent. Its period always equals
+	// the searcher's local best, so every pruning test fires exactly as it
+	// would without the callback: the node set is unchanged.
+	var shared *incumbent
+	if sv.onImprove != nil {
+		shared = newIncumbent(sv.warmPeriod, sv.warm)
+		shared.onImprove = sv.onImprove
+	}
+	s := sv.newSearcher(shared)
 	s.best = sv.warm
 	s.bestPeriod = sv.warmPeriod
 	s.dfs(0)
@@ -256,8 +301,12 @@ func newSolver(in *core.Instance, opts Options) (*solver, error) {
 	if in.N() == 0 {
 		return nil, fmt.Errorf("exact: empty instance")
 	}
+	if opts.MaxNodes < 0 || opts.TimeLimit < 0 || opts.Workers < 0 {
+		return nil, fmt.Errorf("exact: %w (MaxNodes=%d, TimeLimit=%v, Workers=%d)",
+			ErrBadBudget, opts.MaxNodes, opts.TimeLimit, opts.Workers)
+	}
 	if opts.Rule == core.OneToOne && in.N() > in.M() {
-		return nil, fmt.Errorf("exact: one-to-one impossible with n=%d > m=%d", in.N(), in.M())
+		return nil, fmt.Errorf("exact: %w: one-to-one impossible with n=%d > m=%d", ErrInfeasible, in.N(), in.M())
 	}
 	sv := &solver{
 		in:         in,
@@ -267,6 +316,7 @@ func newSolver(in *core.Instance, opts Options) (*solver, error) {
 		noSym:      opts.DisableDominance,
 		noOrder:    opts.DisableOrder,
 		bud:        newBudget(opts),
+		onImprove:  opts.OnImprove,
 		warmPeriod: math.Inf(1),
 	}
 	if !opts.DisableBound {
@@ -348,15 +398,28 @@ func (sv *solver) greedyDive() {
 	}
 }
 
-// finish packages a search outcome, mapping "nothing found" to the
-// no-feasible-mapping error exactly like the pre-parallel solver did.
+// finish packages a search outcome. "Nothing found" splits by cause: a
+// stopped search was starved (ErrBudgetExhausted — the space may well hold
+// a solution), an exhausted one proved there is none (ErrInfeasible).
+// Either way the error is typed and the mapping nil — never nil/nil.
 func (sv *solver) finish(best *core.Mapping, period float64) (*Result, error) {
 	if best == nil {
-		return nil, fmt.Errorf("exact: no feasible mapping under rule %v", sv.rule)
+		if sv.bud.stop.Load() {
+			return nil, fmt.Errorf("exact: %w under rule %v", ErrBudgetExhausted, sv.rule)
+		}
+		return nil, fmt.Errorf("exact: %w under rule %v", ErrInfeasible, sv.rule)
 	}
+	// Normalise the reported period through the canonical evaluation.
+	// The search prices through core.Pricer's plain sums (bit-exact
+	// backtracking); core.Evaluate's compensated ledger can differ from
+	// them in the last ulp on some mappings. Result.Period must be THE
+	// period of Result.Mapping — the number core.Evaluate returns — or a
+	// budget-stopped run could report a period its own mapping does not
+	// reprice to. One O(n) evaluation at the end; the search-internal
+	// prices (pruning, OnImprove) stay pure Pricer values.
 	return &Result{
 		Mapping: best,
-		Period:  period,
+		Period:  core.Period(sv.in, best),
 		Proven:  !sv.bud.stop.Load(),
 		Nodes:   sv.bud.reserved.Load(),
 	}, nil

@@ -47,6 +47,7 @@ type report struct {
 // solveParallel runs the root split over `workers` goroutines.
 func (sv *solver) solveParallel(workers int) (*Result, error) {
 	shared := newIncumbent(sv.warmPeriod, sv.warm)
+	shared.onImprove = sv.onImprove
 	enum := sv.newSearcher(shared)
 	enum.bestPeriod = sv.warmPeriod
 	jobs, depth := sv.enumerate(enum, workers)

@@ -7,6 +7,7 @@
 package exact
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -91,7 +92,10 @@ func TestExactParallelDifferential(t *testing.T) {
 		t.Fatalf("corpus has %d instances, the gate requires >= 50", len(corpus))
 	}
 	for ci, c := range corpus {
-		opts := Options{Rule: c.rule, MaxNodes: 4_000_000}
+		// A live (never-cancelled) context must be byte-identical to no
+		// context at all: the budget only reads ctx.Err() at nodeBatch
+		// reservations, it never changes what a worker explores.
+		opts := Options{Rule: c.rule, MaxNodes: 4_000_000, Ctx: context.Background()}
 		if c.name == "warm-intree" {
 			// Seed the incumbent with a feasible mapping (the sequential
 			// result of a tiny budget run is fine: determinism must hold

@@ -1,0 +1,112 @@
+// The solution cache: canonical digest + solve parameters -> a mapping
+// stored in canonical space. Storing canonically is what makes the cache
+// serve *isomorphic* requests, not just byte-identical ones: a hit
+// translates the canonical assignment through the requesting instance's
+// own (task, machine) permutations, so every client gets the answer in its
+// own labels. The period is label-invariant (machine loads are a function
+// of which column runs which subtree), so it is stored as-is.
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"microfab/internal/core"
+)
+
+// canonPool recycles canonicalizers across requests; a Get on the steady
+// state allocates nothing.
+var canonPool = sync.Pool{New: func() any { return new(canonicalizer) }}
+
+// cacheKey identifies one cached solve. Everything that can change the
+// answer is in the key: the canonical instance digest plus the solve
+// parameters (solver, rule, seed for the seeded solvers, node budget and
+// worker count for the exact search — a budget-stopped incumbent depends
+// on both).
+type cacheKey struct {
+	digest   [32]byte
+	solver   string
+	rule     core.Rule
+	seed     int64
+	maxNodes int64
+	workers  int32
+}
+
+// cacheEntry is one cached result. canonAssign[k] is the canonical
+// machine position running canonical task k.
+type cacheEntry struct {
+	canonAssign []int32
+	period      float64
+	proven      bool
+	hasProven   bool // exact-family solvers only
+	nodes       int64
+	solver      string
+}
+
+// solutionCache is a mutex-guarded LRU over cacheKey. Hit/miss counters
+// are atomics so the stats endpoint reads them without the lock.
+type solutionCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       list.List // front = most recently used; values are *lruItem
+	items    map[cacheKey]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type lruItem struct {
+	key   cacheKey
+	entry *cacheEntry
+}
+
+func newSolutionCache(capacity int) *solutionCache {
+	c := &solutionCache{
+		capacity: capacity,
+		items:    make(map[cacheKey]*list.Element, capacity),
+	}
+	c.ll.Init()
+	return c
+}
+
+// get returns the cached entry (nil on miss) and counts the outcome. The
+// returned entry is immutable after put; callers only read it.
+func (c *solutionCache) get(k cacheKey) *cacheEntry {
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return el.Value.(*lruItem).entry
+}
+
+// put inserts (or refreshes) an entry, evicting the least recently used
+// one beyond capacity.
+func (c *solutionCache) put(k cacheKey, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruItem).entry = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruItem{key: k, entry: e})
+	for len(c.items) > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruItem).key)
+	}
+}
+
+func (c *solutionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

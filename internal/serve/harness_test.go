@@ -1,0 +1,105 @@
+// Shared test harness: generated instances in their File form, and the
+// isomorphism generator — random task relabelings (in-tree preserving by
+// construction: edges are relabeled with their endpoints), type
+// relabelings and machine permutations.
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/instance"
+)
+
+// genFileErr draws a random instance and returns its interchange form,
+// passing generator rejections (impossible n/p/m/branches combinations)
+// through to the caller. branches = 0 draws a chain, > 0 an in-tree.
+func genFileErr(n, p, m int, branches int, seed int64) (*instance.File, error) {
+	var (
+		in  *core.Instance
+		err error
+	)
+	if branches > 0 {
+		in, err = gen.InTree(gen.Default(n, p, m), branches, gen.RNG(seed))
+	} else {
+		in, err = gen.Chain(gen.Default(n, p, m), gen.RNG(seed))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return instance.FromInstance(in, ""), nil
+}
+
+// genFile is genFileErr for parameter sets the caller knows are valid.
+func genFile(tb testing.TB, n, p, m int, branches int, seed int64) *instance.File {
+	tb.Helper()
+	f, err := genFileErr(n, p, m, branches, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+func toInstance(tb testing.TB, f *instance.File) *core.Instance {
+	tb.Helper()
+	in, err := f.ToInstance()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return in
+}
+
+// randPerm returns a permutation of [0, n) drawn from rng.
+func randPerm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// permuteFile returns the isomorphic instance obtained by relabeling task
+// i to tp[i], machine u to mp[u] and type t to yp[t]. Machine names are
+// dropped (the hash ignores them anyway).
+func permuteFile(f *instance.File, tp, mp, yp []int) *instance.File {
+	n, m := len(f.Tasks), len(f.Times[0])
+	out := &instance.File{Comment: "permuted"}
+	for _, t := range f.Tasks {
+		out.Tasks = append(out.Tasks, instance.TaskJSON{ID: tp[t.ID], Type: yp[t.Type]})
+	}
+	for _, d := range f.Deps {
+		out.Deps = append(out.Deps, instance.DepJSON{From: tp[d.From], To: tp[d.To]})
+	}
+	out.Times = make([][]float64, n)
+	out.Failures = make([][]float64, n)
+	for i := range out.Times {
+		out.Times[i] = make([]float64, m)
+		out.Failures[i] = make([]float64, m)
+	}
+	for _, t := range f.Tasks {
+		i := t.ID
+		for u := 0; u < m; u++ {
+			out.Times[tp[i]][mp[u]] = f.Times[i][u]
+			out.Failures[tp[i]][mp[u]] = f.Failures[i][u]
+		}
+	}
+	return out
+}
+
+// identity returns the identity permutation of [0, n).
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// copyFile deep-copies the matrices (shallow elsewhere) so perturbation
+// tests can mutate one entry.
+func copyFile(f *instance.File) *instance.File {
+	out := *f
+	out.Times = make([][]float64, len(f.Times))
+	out.Failures = make([][]float64, len(f.Failures))
+	for i := range f.Times {
+		out.Times[i] = append([]float64(nil), f.Times[i]...)
+		out.Failures[i] = append([]float64(nil), f.Failures[i]...)
+	}
+	return &out
+}

@@ -1,0 +1,340 @@
+// Canonical instance hashing: the cache key that makes the solve daemon
+// recognise a problem it has already solved, no matter how the request
+// labels it. Two instances receive the same digest exactly when they are
+// isomorphic — equal up to a relabeling of tasks (that respects the
+// in-tree), a relabeling of task types, and a permutation of machines.
+// Machine *names* are cosmetic and ignored.
+//
+// The construction is canonical-form hashing, not feature hashing: the
+// instance is rewritten into a canonical byte encoding (canonical task
+// order, canonical type labels, canonical machine order) and that encoding
+// is SHA-256'd. Collisions between non-isomorphic instances therefore
+// require either a SHA-256 collision or a signature tie during
+// canonicalisation — and a signature tie can only cause two isomorphic-in-
+// structure-but-different-in-data orderings to encode differently, i.e. a
+// false cache MISS, never a false hit: the encoding always contains every
+// w and f bit, so equal digests mean equal canonical instances.
+//
+// Canonicalisation proceeds in four steps, all allocation-free after
+// warm-up (the canonicalizer is pooled and reused across requests):
+//
+//  1. per-task row signature: the multiset of (w[i][u], f[i][u]) pairs,
+//     insertion-sorted and FNV-mixed — machine-order-insensitive;
+//  2. bottom-up subtree signatures over Topological() (leaves first):
+//     each task mixes its row signature with its children's sorted
+//     signatures, so sig(i) identifies i's subtree up to isomorphism;
+//  3. canonical task order: pre-order DFS from the root visiting children
+//     in ascending signature order; canonical type labels by first
+//     occurrence along that order;
+//  4. canonical machine order: machines sorted lexicographically by their
+//     (w, f) column read in canonical task order. Ties are genuinely
+//     interchangeable columns (the exact solver's dominance classes), so
+//     any tie order yields the same encoding.
+//
+// Besides the digest, canonicalisation keeps the two permutations it
+// discovered — canonical position -> original task, canonical machine
+// position -> original machine — so the cache can store mappings in
+// canonical space and translate them into each isomorphic instance's own
+// labels on a hit (see cache.go).
+package serve
+
+import (
+	"crypto/sha256"
+	"math"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// fnv-1a, mixed 8 bytes at a time by hand: the stdlib hash/fnv works on
+// []byte and would force an encode step per mix.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func mix64(h, v uint64) uint64 {
+	for b := 0; b < 8; b++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// canonicalizer owns every scratch slice canonicalisation needs, so a
+// pooled instance hashes a stream of requests without allocating. Not safe
+// for concurrent use; ord/mperm/pos/minv stay valid until the next
+// canonicalize call.
+type canonicalizer struct {
+	buf []byte // canonical encoding, digested at the end
+
+	rowW, rowF []uint64     // one task's (w, f) bit pairs, sorted
+	sig        []uint64     // per-task subtree signature
+	sigArena   []uint64     // children signatures while sorting
+	arena      []app.TaskID // children, sig-sorted, one segment per node
+
+	ord     []app.TaskID // canonical position -> original task (pre-order)
+	pos     []int32      // original task -> canonical position
+	typeOf  []int32      // canonical position -> canonical type label
+	typeMap []int32      // original type -> canonical label, -1 = unseen
+
+	mperm []platform.MachineID // canonical machine position -> original machine
+	minv  []int32              // original machine -> canonical machine position
+}
+
+// ensure sizes the scratch state for an (n, m, p) instance.
+func (c *canonicalizer) ensure(n, m, p int) {
+	if cap(c.sig) < n {
+		c.sig = make([]uint64, n)
+		c.pos = make([]int32, n)
+		c.typeOf = make([]int32, n)
+		c.ord = make([]app.TaskID, 0, n)
+		c.arena = make([]app.TaskID, 0, n)
+		c.sigArena = make([]uint64, 0, n)
+	}
+	c.sig = c.sig[:n]
+	c.pos = c.pos[:n]
+	c.typeOf = c.typeOf[:n]
+	if cap(c.rowW) < m {
+		c.rowW = make([]uint64, 0, m)
+		c.rowF = make([]uint64, 0, m)
+		c.mperm = make([]platform.MachineID, m)
+		c.minv = make([]int32, m)
+	}
+	c.mperm = c.mperm[:m]
+	c.minv = c.minv[:m]
+	if cap(c.typeMap) < p {
+		c.typeMap = make([]int32, p)
+	}
+	c.typeMap = c.typeMap[:p]
+}
+
+// canonicalize rewrites the instance into canonical form and returns its
+// digest. After it returns, c.ord, c.pos, c.mperm and c.minv hold the
+// task/machine translations between the instance's labels and canonical
+// space.
+func (c *canonicalizer) canonicalize(in *core.Instance) [32]byte {
+	n, m, p := in.N(), in.M(), in.P()
+	c.ensure(n, m, p)
+	c.subtreeSigs(in)
+	c.canonOrder(in.App)
+	c.canonTypes(in.App)
+	c.canonMachines(in)
+	return sha256.Sum256(c.encode(in))
+}
+
+// rowSig hashes the multiset of (w, f) pairs of one task's machine row.
+// Sorting by raw float bits is sound here: w > 0 and f in [0, 1), so the
+// bit order matches the value order — and any deterministic,
+// permutation-invariant order would do.
+func (c *canonicalizer) rowSig(in *core.Instance, i app.TaskID) uint64 {
+	w := in.Platform.Row(i)
+	f := in.Failures.Row(i)
+	rw, rf := c.rowW[:0], c.rowF[:0]
+	for u := range w {
+		wb, fb := math.Float64bits(w[u]), math.Float64bits(f[u])
+		j := len(rw)
+		rw = append(rw, 0)
+		rf = append(rf, 0)
+		for j > 0 && (wb < rw[j-1] || (wb == rw[j-1] && fb < rf[j-1])) {
+			rw[j], rf[j] = rw[j-1], rf[j-1]
+			j--
+		}
+		rw[j], rf[j] = wb, fb
+	}
+	c.rowW, c.rowF = rw, rf // keep the grown capacity
+	h := fnvOffset
+	for u := range rw {
+		h = mix64(h, rw[u])
+		h = mix64(h, rf[u])
+	}
+	return h
+}
+
+// subtreeSigs fills c.sig bottom-up: Topological() is leaves-first, so
+// every child signature is final when its parent mixes it in. Task types
+// are deliberately left out (type labels are canonicalised separately);
+// the children's signatures enter sorted, making sig invariant under any
+// reordering of the predecessor lists.
+func (c *canonicalizer) subtreeSigs(in *core.Instance) {
+	a := in.App
+	for _, i := range a.Topological() {
+		h := mix64(c.rowSig(in, i), 0x9e3779b97f4a7c15)
+		preds := a.Predecessors(i)
+		seg := c.sigArena[:0]
+		for _, k := range preds {
+			s := c.sig[k]
+			j := len(seg)
+			seg = append(seg, 0)
+			for j > 0 && s < seg[j-1] {
+				seg[j] = seg[j-1]
+				j--
+			}
+			seg[j] = s
+		}
+		c.sigArena = seg
+		h = mix64(h, uint64(len(preds)))
+		for _, s := range seg {
+			h = mix64(h, s)
+		}
+		c.sig[i] = h
+	}
+}
+
+// canonOrder fills c.ord with the pre-order DFS from the root, visiting
+// children in ascending subtree-signature order, and c.pos with its
+// inverse. Equal-signature children keep their predecessor-list order;
+// that tie is either two interchangeable subtrees (same encoding either
+// way) or a signature collision (false miss at worst).
+func (c *canonicalizer) canonOrder(a *app.Application) {
+	c.ord = c.ord[:0]
+	c.arena = c.arena[:0]
+	c.visit(a, a.Root())
+}
+
+func (c *canonicalizer) visit(a *app.Application, i app.TaskID) {
+	c.pos[i] = int32(len(c.ord))
+	c.ord = append(c.ord, i)
+	preds := a.Predecessors(i)
+	if len(preds) == 0 {
+		return
+	}
+	lo := len(c.arena)
+	c.arena = append(c.arena, preds...)
+	// kids aliases the arena segment reserved above; deeper visits only
+	// append past it (a growth reallocation strands kids on the old
+	// backing array, which is fine: its contents are final by then).
+	kids := c.arena[lo : lo+len(preds)]
+	for x := 1; x < len(kids); x++ {
+		k := kids[x]
+		j := x - 1
+		for j >= 0 && c.sig[k] < c.sig[kids[j]] {
+			kids[j+1] = kids[j]
+			j--
+		}
+		kids[j+1] = k
+	}
+	for _, k := range kids {
+		c.visit(a, k)
+	}
+}
+
+// canonTypes labels types by first occurrence along the canonical order.
+func (c *canonicalizer) canonTypes(a *app.Application) {
+	for t := range c.typeMap {
+		c.typeMap[t] = -1
+	}
+	next := int32(0)
+	for k, i := range c.ord {
+		t := a.Type(i)
+		if c.typeMap[t] < 0 {
+			c.typeMap[t] = next
+			next++
+		}
+		c.typeOf[k] = c.typeMap[t]
+	}
+}
+
+// canonMachines insertion-sorts the machine indices by their (w, f)
+// column read in canonical task order and fills mperm/minv.
+func (c *canonicalizer) canonMachines(in *core.Instance) {
+	for u := range c.mperm {
+		c.mperm[u] = platform.MachineID(u)
+	}
+	for x := 1; x < len(c.mperm); x++ {
+		u := c.mperm[x]
+		j := x - 1
+		for j >= 0 && c.columnLess(in, u, c.mperm[j]) {
+			c.mperm[j+1] = c.mperm[j]
+			j--
+		}
+		c.mperm[j+1] = u
+	}
+	for j, u := range c.mperm {
+		c.minv[u] = int32(j)
+	}
+}
+
+// columnLess compares two machine columns lexicographically over the
+// canonical task order, (w bits, f bits) per task.
+func (c *canonicalizer) columnLess(in *core.Instance, u, v platform.MachineID) bool {
+	for _, i := range c.ord {
+		w := in.Platform.Row(i)
+		wu, wv := math.Float64bits(w[u]), math.Float64bits(w[v])
+		if wu != wv {
+			return wu < wv
+		}
+		f := in.Failures.Row(i)
+		fu, fv := math.Float64bits(f[u]), math.Float64bits(f[v])
+		if fu != fv {
+			return fu < fv
+		}
+	}
+	return false
+}
+
+// encode serialises the canonical form into c.buf: header, the tree shape
+// (each task's canonical parent position and canonical type), then the
+// full w and f matrices in canonical (task, machine) order. Every data bit
+// lands in the buffer — that is what makes equal digests mean equal
+// canonical instances.
+func (c *canonicalizer) encode(in *core.Instance) []byte {
+	a := in.App
+	buf := append(c.buf[:0], "mfcanon1"...)
+	buf = appendU64(buf, uint64(len(c.ord)))
+	buf = appendU64(buf, uint64(len(c.mperm)))
+	for k, i := range c.ord {
+		parent := uint64(math.MaxUint64) // root marker
+		if s := a.Successor(i); s != app.NoTask {
+			parent = uint64(c.pos[s]) // pre-order: always already visited
+		}
+		buf = appendU64(buf, parent)
+		buf = appendU64(buf, uint64(c.typeOf[k]))
+	}
+	for _, i := range c.ord {
+		w := in.Platform.Row(i)
+		f := in.Failures.Row(i)
+		for _, u := range c.mperm {
+			buf = appendU64(buf, math.Float64bits(w[u]))
+			buf = appendU64(buf, math.Float64bits(f[u]))
+		}
+	}
+	c.buf = buf
+	return buf
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// encodeMapping writes the canonical-space image of a complete mapping:
+// dst[k] = canonical machine of the machine running canonical task k.
+// dst must have length n.
+func (c *canonicalizer) encodeMapping(m *core.Mapping, dst []int32) {
+	for k, i := range c.ord {
+		dst[k] = c.minv[m.Machine(i)]
+	}
+}
+
+// decodeAssign translates a canonical-space mapping into this instance's
+// labels: dst[task] = machine index. dst must have length n.
+func (c *canonicalizer) decodeAssign(canon []int32, dst []int) {
+	for k, i := range c.ord {
+		dst[i] = int(c.mperm[canon[k]])
+	}
+}
+
+// CanonicalHash returns the canonical digest of the instance. Two
+// instances share a digest exactly when one can be rewritten into the
+// other by relabeling tasks (preserving the in-tree), relabeling types,
+// and permuting machines; machine names are ignored.
+func CanonicalHash(in *core.Instance) [32]byte {
+	c := canonPool.Get().(*canonicalizer)
+	h := c.canonicalize(in)
+	canonPool.Put(c)
+	return h
+}

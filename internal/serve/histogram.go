@@ -1,0 +1,105 @@
+// Lock-free latency histogram with power-of-two microsecond buckets.
+// observe is a handful of atomic adds (safe from every request goroutine);
+// snapshot derives mean and p50/p90/p99 for the stats endpoint and the
+// serve benchmarks. Quantiles are read as the upper bound of the bucket
+// containing the rank — coarse (factor-of-two) but monotone, allocation-
+// free and plenty to spot a latency regression in CI.
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers [1 µs, ~2^27 µs ≈ 134 s); the last bucket absorbs
+// everything slower.
+const histBuckets = 28
+
+type latencyHist struct {
+	buckets   [histBuckets]atomic.Int64 // bucket b counts latencies in [2^(b-1), 2^b) µs
+	count     atomic.Int64
+	sumMicros atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us)) // 0 µs -> bucket 0
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumMicros.Add(us)
+}
+
+// HistBucket is one non-empty histogram bucket: Count latencies were at
+// most LeUs microseconds (and above the previous bucket's bound).
+type HistBucket struct {
+	LeUs  int64 `json:"leUs"`
+	Count int64 `json:"count"`
+}
+
+// LatencySnapshot is the JSON form of the histogram.
+type LatencySnapshot struct {
+	Count  int64        `json:"count"`
+	MeanUs float64      `json:"meanUs"`
+	P50Us  float64      `json:"p50Us"`
+	P90Us  float64      `json:"p90Us"`
+	P99Us  float64      `json:"p99Us"`
+	Bucket []HistBucket `json:"buckets,omitempty"`
+}
+
+// snapshot reads the histogram. Concurrent observes may straddle the read;
+// the snapshot is still internally consistent enough for monitoring (each
+// counter is read once, in bucket order).
+func (h *latencyHist) snapshot() LatencySnapshot {
+	var counts [histBuckets]int64
+	var total, sum int64
+	for b := range counts {
+		counts[b] = h.buckets[b].Load()
+		total += counts[b]
+	}
+	sum = h.sumMicros.Load()
+	s := LatencySnapshot{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.MeanUs = float64(sum) / float64(total)
+	s.P50Us = quantile(&counts, total, 0.50)
+	s.P90Us = quantile(&counts, total, 0.90)
+	s.P99Us = quantile(&counts, total, 0.99)
+	for b, n := range counts {
+		if n > 0 {
+			s.Bucket = append(s.Bucket, HistBucket{LeUs: bucketBound(b), Count: n})
+		}
+	}
+	return s
+}
+
+// bucketBound is the inclusive upper bound of bucket b in microseconds.
+func bucketBound(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	return int64(1)<<b - 1
+}
+
+// quantile returns the upper bound of the bucket holding the q-th rank.
+func quantile(counts *[histBuckets]int64, total int64, q float64) float64 {
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for b, n := range counts {
+		seen += n
+		if seen > rank {
+			return float64(bucketBound(b))
+		}
+	}
+	return float64(bucketBound(histBuckets - 1))
+}

@@ -1,0 +1,74 @@
+// Pooled pricing engines. A daemon serving thousands of small solves per
+// second cannot afford a fresh Evaluator/Pricer allocation per request, so
+// engines are kept in sync.Pools keyed by (n, m) shape class and repointed
+// at each request's instance via the engines' Rebind — same allocated
+// state, different same-shape instance, bit-identical pricing (pinned by
+// internal/core's rebind tests).
+package serve
+
+import (
+	"sync"
+
+	"microfab/internal/core"
+)
+
+type dims struct{ n, m int }
+
+// enginePools holds one sync.Pool of Evaluators and one of Pricers per
+// (n, m) class. The class map itself is append-only and tiny (one entry
+// per distinct shape seen), guarded by a mutex on the slow path only.
+type enginePools struct {
+	mu      sync.Mutex
+	evals   map[dims]*sync.Pool
+	pricers map[dims]*sync.Pool
+}
+
+func newEnginePools() *enginePools {
+	return &enginePools{
+		evals:   make(map[dims]*sync.Pool),
+		pricers: make(map[dims]*sync.Pool),
+	}
+}
+
+func (p *enginePools) class(m map[dims]*sync.Pool, d dims) *sync.Pool {
+	p.mu.Lock()
+	pool := m[d]
+	if pool == nil {
+		pool = &sync.Pool{}
+		m[d] = pool
+	}
+	p.mu.Unlock()
+	return pool
+}
+
+// evaluator returns a pooled Evaluator rebound to in, or a fresh one when
+// the pool is empty. Release with putEvaluator.
+func (p *enginePools) evaluator(in *core.Instance) *core.Evaluator {
+	pool := p.class(p.evals, dims{in.N(), in.M()})
+	if v := pool.Get(); v != nil {
+		if e := v.(*core.Evaluator); e.Rebind(in) {
+			return e
+		}
+	}
+	return core.NewEvaluator(in)
+}
+
+func (p *enginePools) putEvaluator(e *core.Evaluator) {
+	p.class(p.evals, dims{e.Len(), e.M()}).Put(e)
+}
+
+// pricer returns a pooled Pricer rebound to in, or a fresh one when the
+// pool is empty. Release with putPricer.
+func (p *enginePools) pricer(in *core.Instance) *core.Pricer {
+	pool := p.class(p.pricers, dims{in.N(), in.M()})
+	if v := pool.Get(); v != nil {
+		if pr := v.(*core.Pricer); pr.Rebind(in) {
+			return pr
+		}
+	}
+	return core.NewPricer(in)
+}
+
+func (p *enginePools) putPricer(pr *core.Pricer) {
+	p.class(p.pricers, dims{pr.Len(), pr.M()}).Put(pr)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips the allocation pins under -race: the detector's
+// instrumentation allocates on paths that are allocation-free in a real
+// build.
+const raceEnabled = true

@@ -1,0 +1,565 @@
+// Daemon contract: solve requests answer with usable mappings or typed
+// error codes, isomorphic repeats hit the canonical-hash cache (counter
+// asserted), the cache-hit path allocates nothing, client disconnects
+// drain, and the stats endpoint reflects all of it.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+	"time"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/instance"
+	"microfab/internal/platform"
+)
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func solveBody(t testing.TB, f *instance.File, mutate func(*SolveRequest)) []byte {
+	t.Helper()
+	req := SolveRequest{Instance: *f, Solver: "exact"}
+	if mutate != nil {
+		mutate(&req)
+	}
+	buf, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func postJSON(t testing.TB, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+func decodeSolve(t testing.TB, body []byte) SolveResponse {
+	t.Helper()
+	var resp SolveResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode %q: %v", body, err)
+	}
+	return resp
+}
+
+func getStats(t testing.TB, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// mappingOf rebuilds a core.Mapping from a response assignment.
+func mappingOf(assign []int) *core.Mapping {
+	m := core.NewMapping(len(assign))
+	for i, u := range assign {
+		m.Assign(app.TaskID(i), platform.MachineID(u))
+	}
+	return m
+}
+
+// TestServeSmoke: one exact solve end to end, cross-checked against the
+// evaluate endpoint, plus healthz and the stats shape.
+func TestServeSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	f := genFile(t, 10, 3, 4, 0, 42)
+
+	code, body := postJSON(t, ts.URL+"/solve", solveBody(t, f, nil))
+	if code != http.StatusOK {
+		t.Fatalf("solve: status %d body %s", code, body)
+	}
+	resp := decodeSolve(t, body)
+	if resp.Proven == nil || !*resp.Proven {
+		t.Fatalf("small exact solve not proven: %+v", resp)
+	}
+	if len(resp.Assign) != 10 || resp.Period <= 0 {
+		t.Fatalf("malformed response: %+v", resp)
+	}
+	in := toInstance(t, f)
+	ev, err := core.Evaluate(in, mappingOf(resp.Assign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Period-resp.Period) > 1e-9*resp.Period {
+		t.Fatalf("response period %v, Evaluate %v", resp.Period, ev.Period)
+	}
+
+	// The evaluate endpoint agrees on the returned mapping.
+	evReq, _ := json.Marshal(&EvaluateRequest{Instance: *f, Assign: resp.Assign})
+	code, body = postJSON(t, ts.URL+"/evaluate", evReq)
+	if code != http.StatusOK {
+		t.Fatalf("evaluate: status %d body %s", code, body)
+	}
+	var evResp EvaluateResponse
+	if err := json.Unmarshal(body, &evResp); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(evResp.Period-resp.Period) > 1e-9*resp.Period {
+		t.Fatalf("evaluate period %v, solve period %v", evResp.Period, resp.Period)
+	}
+	if len(evResp.MachinePeriods) != 4 {
+		t.Fatalf("machine periods: %v", evResp.MachinePeriods)
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", hz, err)
+	}
+	hz.Body.Close()
+	st := getStats(t, ts)
+	if st.Requests < 1 || st.Solved < 1 || st.Latency.Count < 1 {
+		t.Fatalf("stats did not count the solve: %+v", st)
+	}
+}
+
+// TestServeCacheHit: a byte-identical repeat is served from the cache —
+// hit counter asserted — and NoCache bypasses it.
+func TestServeCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	f := genFile(t, 12, 3, 5, 0, 7)
+	body := solveBody(t, f, nil)
+
+	_, first := postJSON(t, ts.URL+"/solve", body)
+	r1 := decodeSolve(t, first)
+	if r1.Cached {
+		t.Fatal("first solve claims to be cached")
+	}
+	_, second := postJSON(t, ts.URL+"/solve", body)
+	r2 := decodeSolve(t, second)
+	if !r2.Cached {
+		t.Fatal("repeat solve missed the cache")
+	}
+	if r2.Period != r1.Period {
+		t.Fatalf("cached period %v, solved %v", r2.Period, r1.Period)
+	}
+	st := getStats(t, ts)
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.CacheEntries != 1 {
+		t.Fatalf("cache counters: %+v", st)
+	}
+
+	_, third := postJSON(t, ts.URL+"/solve", solveBody(t, f, func(r *SolveRequest) { r.NoCache = true }))
+	if decodeSolve(t, third).Cached {
+		t.Fatal("NoCache request served from cache")
+	}
+	if st := getStats(t, ts); st.CacheHits != 1 {
+		t.Fatalf("NoCache request touched the hit counter: %+v", st)
+	}
+}
+
+// TestServeIsomorphicHit: a task-relabeled, type-relabeled,
+// machine-permuted copy of a solved instance is answered from the cache,
+// with the mapping translated into the copy's own labels.
+func TestServeIsomorphicHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	f := genFile(t, 14, 4, 5, 3, 19)
+	_, first := postJSON(t, ts.URL+"/solve", solveBody(t, f, nil))
+	r1 := decodeSolve(t, first)
+
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 3; trial++ {
+		iso := permuteFile(f, randPerm(rng, 14), randPerm(rng, 5), randPerm(rng, 4))
+		_, body := postJSON(t, ts.URL+"/solve", solveBody(t, iso, nil))
+		r2 := decodeSolve(t, body)
+		if !r2.Cached {
+			t.Fatalf("trial %d: isomorphic request missed the cache", trial)
+		}
+		// The translated mapping must be valid *for the permuted labels*:
+		// re-evaluating it on the permuted instance reproduces the cached
+		// period.
+		ev, err := core.Evaluate(toInstance(t, iso), mappingOf(r2.Assign))
+		if err != nil {
+			t.Fatalf("trial %d: translated mapping does not evaluate: %v", trial, err)
+		}
+		if math.Abs(ev.Period-r1.Period) > 1e-9*r1.Period {
+			t.Fatalf("trial %d: translated mapping period %v, cached %v", trial, ev.Period, r1.Period)
+		}
+	}
+	if st := getStats(t, ts); st.CacheHits != 3 {
+		t.Fatalf("expected 3 isomorphic hits, stats: %+v", st)
+	}
+}
+
+// TestServeErrorPaths: every admission failure is a typed 4xx, solver
+// failures are typed 422s, and a full queue answers 429.
+func TestServeErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, MaxTasks: 64})
+	f := genFile(t, 6, 2, 3, 0, 1)
+	cases := []struct {
+		name   string
+		body   []byte
+		status int
+		code   string
+	}{
+		{"bad json", []byte("{"), http.StatusBadRequest, "bad-request"},
+		{"bad instance", []byte(`{"instance":{"tasks":[],"deps":[],"times":[],"failures":[]}}`), http.StatusBadRequest, "bad-instance"},
+		{"unknown solver", solveBody(t, f, func(r *SolveRequest) { r.Solver = "simplex" }), http.StatusBadRequest, "unknown-solver"},
+		{"bad rule", solveBody(t, f, func(r *SolveRequest) { r.Rule = "fastest" }), http.StatusBadRequest, "bad-rule"},
+		{"rule on heuristic", solveBody(t, f, func(r *SolveRequest) { r.Solver = "H4w"; r.Rule = "general" }), http.StatusBadRequest, "bad-rule"},
+		{"negative nodes", solveBody(t, f, func(r *SolveRequest) { r.MaxNodes = -1 }), http.StatusBadRequest, "bad-budget"},
+		{"negative time", solveBody(t, f, func(r *SolveRequest) { r.TimeLimitMs = -5 }), http.StatusBadRequest, "bad-budget"},
+		{"negative workers", solveBody(t, f, func(r *SolveRequest) { r.Workers = -2 }), http.StatusBadRequest, "bad-budget"},
+		{"nodes over cap", solveBody(t, f, func(r *SolveRequest) { r.MaxNodes = 1 << 40 }), http.StatusBadRequest, "budget-too-large"},
+		{"time over cap", solveBody(t, f, func(r *SolveRequest) { r.TimeLimitMs = 3_600_000 }), http.StatusBadRequest, "budget-too-large"},
+		{"infeasible", solveBody(t, genFile(t, 5, 2, 3, 0, 2), func(r *SolveRequest) { r.Rule = "one-to-one" }), http.StatusUnprocessableEntity, "infeasible"},
+		{"solver cannot", solveBody(t, f, func(r *SolveRequest) { r.Solver = "oto" }), http.StatusUnprocessableEntity, "solve-failed"},
+	}
+	for _, tc := range cases {
+		code, body := postJSON(t, ts.URL+"/solve", tc.body)
+		if code != tc.status {
+			t.Fatalf("%s: status %d (want %d), body %s", tc.name, code, tc.status, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error != tc.code {
+			t.Fatalf("%s: error code %q (want %q), body %s", tc.name, er.Error, tc.code, body)
+		}
+	}
+	oversize := genFile(t, 80, 4, 8, 0, 3)
+	code, body := postJSON(t, ts.URL+"/solve", solveBody(t, oversize, nil))
+	var er ErrorResponse
+	json.Unmarshal(body, &er)
+	if code != http.StatusBadRequest || er.Error != "too-large" {
+		t.Fatalf("oversize instance: status %d code %q", code, er.Error)
+	}
+}
+
+// TestServeQueueFull: with no workers and a one-slot queue, the second
+// concurrent request is shed with a typed 429.
+func TestServeQueueFull(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: -1, QueueDepth: 1})
+	f := genFile(t, 6, 2, 3, 0, 1)
+	body := solveBody(t, f, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/solve", bytes.NewReader(body))
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait for the first request to occupy the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := getStats(t, ts); st.QueueLen >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	code, rbody := postJSON(t, ts.URL+"/solve", body)
+	var er ErrorResponse
+	json.Unmarshal(rbody, &er)
+	if code != http.StatusTooManyRequests || er.Error != "overloaded" {
+		t.Fatalf("queue-full request: status %d code %q", code, er.Error)
+	}
+	if st := getStats(t, ts); st.Rejected != 1 {
+		t.Fatalf("rejected counter: %+v", st)
+	}
+	cancel()
+	<-firstDone
+}
+
+// TestServeStream: incumbent-streaming responses end with a result line
+// that matches the non-streaming answer, and any incumbents strictly
+// improve.
+func TestServeStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	f := genFile(t, 14, 4, 5, 0, 77)
+
+	_, plain := postJSON(t, ts.URL+"/solve", solveBody(t, f, func(r *SolveRequest) { r.NoCache = true }))
+	want := decodeSolve(t, plain)
+
+	resp, err := http.Post(ts.URL+"/solve", "application/json",
+		bytes.NewReader(solveBody(t, f, func(r *SolveRequest) { r.Stream = true; r.NoCache = true })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var (
+		lines  int
+		last   float64 = math.Inf(1)
+		result *SolveResponse
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+		var probe struct {
+			Type   string  `json:"type"`
+			Period float64 `json:"period"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("line %d: %v: %s", lines, err, sc.Text())
+		}
+		switch probe.Type {
+		case "incumbent":
+			if result != nil {
+				t.Fatal("incumbent after the result line")
+			}
+			if probe.Period >= last {
+				t.Fatalf("incumbent period %v did not improve on %v", probe.Period, last)
+			}
+			last = probe.Period
+		case "result":
+			r := decodeSolve(t, sc.Bytes())
+			result = &r
+		default:
+			t.Fatalf("unexpected stream line type %q", probe.Type)
+		}
+	}
+	if sc.Err() != nil || result == nil {
+		t.Fatalf("stream ended without a result line (err %v)", sc.Err())
+	}
+	if result.Period != want.Period {
+		t.Fatalf("streamed result period %v, plain %v", result.Period, want.Period)
+	}
+}
+
+// TestServeStreamCachedResult: a streaming request that hits the cache
+// still answers in stream form — a single result line.
+func TestServeStreamCachedResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	f := genFile(t, 10, 3, 4, 0, 5)
+	postJSON(t, ts.URL+"/solve", solveBody(t, f, nil))
+	_, body := postJSON(t, ts.URL+"/solve", solveBody(t, f, func(r *SolveRequest) { r.Stream = true }))
+	line := strings.TrimSpace(string(body))
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("cached stream answered more than one line: %q", line)
+	}
+	r := decodeSolve(t, []byte(line))
+	if r.Type != "result" || !r.Cached {
+		t.Fatalf("cached stream line: %+v", r)
+	}
+}
+
+// TestServeCancelDrains: a client that disconnects mid-solve stops the
+// search (the context reaches the exact solver's node loop) and the
+// server drains back to idle and keeps serving.
+func TestServeCancelDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, MaxNodes: 1 << 30, MaxTime: time.Minute})
+	// Large enough that a 1<<30-node proof takes far longer than the
+	// drain deadline: only cancellation explains a prompt drain.
+	hard := genFile(t, 30, 5, 10, 0, 99)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/solve",
+		bytes.NewReader(solveBody(t, hard, func(r *SolveRequest) { r.NoCache = true })))
+	if resp, err := ts.Client().Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.stats.inflight.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("solve did not drain after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	code, body := postJSON(t, ts.URL+"/solve", solveBody(t, genFile(t, 8, 3, 4, 0, 4), nil))
+	if code != http.StatusOK {
+		t.Fatalf("server unhealthy after cancel: %d %s", code, body)
+	}
+}
+
+// TestCacheHitZeroAlloc: the steady-state cache-hit path — canonicalise,
+// probe, translate — performs zero heap allocations. GC is paused so a
+// mid-measurement collection cannot empty the sync.Pools under us.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise allocation-free paths")
+	}
+	s := NewServer(Config{Workers: 1})
+	defer s.Close()
+	f := genFile(t, 12, 3, 5, 0, 7)
+	var req SolveRequest
+	req.Instance = *f
+	p, herr := s.admit(&req)
+	if herr != nil {
+		t.Fatalf("admit: %+v", herr)
+	}
+	out := s.runJob(&job{ctx: context.Background(), p: p})
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	var resp SolveResponse
+	if !s.lookup(&p, &resp) {
+		t.Fatal("prime lookup missed")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(200, func() {
+		if !s.lookup(&p, &resp) {
+			t.Fatal("lookup missed mid-measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit path allocates %.2f times per op", allocs)
+	}
+}
+
+// TestLoadThroughput: the acceptance load test — concurrent small solves
+// (a warm cache-hit majority plus fresh heuristic solves) must sustain at
+// least 1000 requests/second in-process.
+func TestLoadThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short")
+	}
+	s, _ := newTestServer(t, Config{Workers: runtime.GOMAXPROCS(0), CacheSize: 4096})
+	mux := s.Handler()
+
+	// Pre-encode the request bodies: one exact instance served warm from
+	// the cache, plus distinct H4w instances solved fresh on every call.
+	warm := solveBody(t, genFile(t, 12, 3, 5, 0, 7), nil)
+	code, body := drive(mux, warm)
+	if code != http.StatusOK {
+		t.Fatalf("warmup: %d %s", code, body)
+	}
+	var fresh [][]byte
+	for seed := int64(0); seed < 16; seed++ {
+		fresh = append(fresh, solveBody(t, genFile(t, 10, 3, 4, 0, 100+seed),
+			func(r *SolveRequest) { r.Solver = "H4w"; r.NoCache = true }))
+	}
+
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	errc := make(chan error, goroutines)
+	t0 := time.Now()
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			for k := 0; k < perG; k++ {
+				req := warm
+				if k%4 == 3 { // 25% fresh solves, 75% cache hits
+					req = fresh[(g*perG+k)%len(fresh)]
+				}
+				if code, body := drive(mux, req); code != http.StatusOK {
+					errc <- fmt.Errorf("goroutine %d request %d: %d %s", g, k, code, body)
+					return
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(t0)
+	rate := float64(goroutines*perG) / elapsed.Seconds()
+	t.Logf("served %d requests in %v (%.0f req/s)", goroutines*perG, elapsed, rate)
+	if rate < 1000 {
+		t.Fatalf("throughput %.0f req/s, want >= 1000", rate)
+	}
+	if st := s.cache.hits.Load(); st < int64(goroutines*perG/2) {
+		t.Fatalf("cache hits %d, expected a warm majority of %d requests", st, goroutines*perG)
+	}
+}
+
+// drive sends one in-process request through the mux.
+func drive(mux http.Handler, body []byte) (int, []byte) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body))
+	mux.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// BenchmarkServeCacheHit is the baseline-gated steady-state number: one
+// canonicalisation + cache probe + label translation, zero allocations.
+func BenchmarkServeCacheHit(b *testing.B) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Close()
+	f := genFile(b, 12, 3, 5, 0, 7)
+	var req SolveRequest
+	req.Instance = *f
+	p, herr := s.admit(&req)
+	if herr != nil {
+		b.Fatalf("admit: %+v", herr)
+	}
+	if out := s.runJob(&job{ctx: context.Background(), p: p}); out.err != nil {
+		b.Fatal(out.err)
+	}
+	var resp SolveResponse
+	if !s.lookup(&p, &resp) {
+		b.Fatal("prime lookup missed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		if !s.lookup(&p, &resp) {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkServeLoad drives the full HTTP request path (JSON decode,
+// admission, cache, JSON encode) in parallel and reports the request rate
+// and the server-observed latency quantiles. Not baseline-gated: the
+// numbers carry scheduler noise; the artifact archives them.
+func BenchmarkServeLoad(b *testing.B) {
+	s := NewServer(Config{Workers: runtime.GOMAXPROCS(0), CacheSize: 4096})
+	defer s.Close()
+	mux := s.Handler()
+	warm := solveBody(b, genFile(b, 12, 3, 5, 0, 7), nil)
+	if code, body := drive(mux, warm); code != http.StatusOK {
+		b.Fatalf("warmup: %d %s", code, body)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if code, _ := drive(mux, warm); code != http.StatusOK {
+				b.Fatal("request failed")
+			}
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "req/s")
+	}
+	snap := s.hist.snapshot()
+	b.ReportMetric(snap.P50Us, "p50-us")
+	b.ReportMetric(snap.P99Us, "p99-us")
+}

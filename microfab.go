@@ -25,6 +25,7 @@ package microfab
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -107,6 +108,27 @@ const (
 	OneToOne    = core.OneToOne
 	Specialized = core.Specialized
 	General     = core.GeneralRule
+)
+
+// Typed solver errors. Request-facing callers (the mfserve daemon, any
+// long-lived embedding) key status codes off these with errors.Is instead
+// of string-matching; every facade solve path guarantees "mapping or
+// error, never both nil".
+var (
+	// ErrUnknownSolver is wrapped by Solve when the method name is not
+	// registered; the message lists what is.
+	ErrUnknownSolver = errors.New("unknown solver")
+	// ErrBadBudget rejects negative node/time/worker budgets before a
+	// search starts (exact.ErrBadBudget re-exported).
+	ErrBadBudget = exact.ErrBadBudget
+	// ErrBudgetExhausted means a budget stopped an exact search (or the
+	// MIP) before any feasible mapping was found — rare, since warm starts
+	// and the greedy dive seed an incumbent (exact.ErrBudgetExhausted
+	// re-exported).
+	ErrBudgetExhausted = exact.ErrBudgetExhausted
+	// ErrInfeasible means the search proved no rule-feasible mapping
+	// exists (exact.ErrInfeasible re-exported).
+	ErrInfeasible = exact.ErrInfeasible
 )
 
 // NewBuilder starts assembling an application.
@@ -193,7 +215,7 @@ func solveMIP(in *Instance, _ int64) (*Mapping, error) {
 		return nil, err
 	}
 	if res.Mapping == nil {
-		return nil, fmt.Errorf("microfab: MIP budget exhausted with no solution")
+		return nil, fmt.Errorf("microfab: MIP: %w", ErrBudgetExhausted)
 	}
 	return res.Mapping, nil
 }
@@ -209,7 +231,7 @@ func solveExact(in *Instance, _ int64) (*Mapping, error) {
 		return nil, err
 	}
 	if res.Mapping == nil {
-		return nil, fmt.Errorf("microfab: exact search budget exhausted with no solution")
+		return nil, fmt.Errorf("microfab: exact: %w", ErrBudgetExhausted)
 	}
 	return res.Mapping, nil
 }
@@ -288,7 +310,7 @@ func Solve(in *Instance, method string, seed int64) (*Mapping, error) {
 	}
 	h, err := heuristics.Get(method)
 	if err != nil {
-		return nil, fmt.Errorf("microfab: unknown method %q (have %v)", method, Solvers())
+		return nil, fmt.Errorf("microfab: %w %q (have %v)", ErrUnknownSolver, method, Solvers())
 	}
 	return h.Fn(in, gen.RNG(seed), heuristics.Options{})
 }
