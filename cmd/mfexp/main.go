@@ -23,6 +23,11 @@
 // series) pair (for the MIP figures 10..12 this additionally needs the
 // node budget, not the -mip-time wall clock, to be the binding solver
 // limit); Ctrl-C cancels at the next draw boundary.
+//
+// -coord http://host:9344 runs the campaign on a solve fabric (cmd/mfcoord
+// + cmd/mfworker) instead of locally. The merged figure is byte-identical
+// to the local run for any fleet size; -workers and -progress are local
+// knobs and do not apply.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"microfab/internal/experiments"
+	"microfab/internal/fabric"
 )
 
 func main() {
@@ -49,6 +55,7 @@ func main() {
 		polish   = flag.String("polish", "", "local-search post-pass per draw: ls | anneal")
 		pBudget  = flag.Int("polish-budget", 0, "post-pass budget per mapping (0 = default)")
 		progress = flag.Bool("progress", false, "report draw progress on stderr")
+		coord    = flag.String("coord", "", "run on a solve fabric: coordinator base URL (e.g. http://host:9344)")
 	)
 	flag.Parse()
 	cfg := experiments.Config{
@@ -78,7 +85,17 @@ func main() {
 	defer stop()
 	for _, n := range figs {
 		start := time.Now()
-		r, err := experiments.FigureCtx(ctx, n, cfg)
+		var r *experiments.Result
+		var err error
+		if *coord != "" {
+			r, err = fabric.SubmitCampaign(ctx, nil, *coord, fabric.CampaignSpec{
+				Figure: n, Draws: *draws, Seed: *seed, Thin: *thin,
+				MIPTimeLimitMs: mipTime.Milliseconds(), ExactWorkers: *exactW,
+				Polish: *polish, PolishBudget: *pBudget,
+			})
+		} else {
+			r, err = experiments.FigureCtx(ctx, n, cfg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mfexp:", err)
 			os.Exit(1)

@@ -9,8 +9,9 @@
 //	curl -s localhost:8344/stats
 //
 // Endpoints: POST /solve (add "stream": true for incumbent-streaming JSON
-// lines), POST /evaluate, GET /stats, GET /healthz. See internal/serve for
-// the request and response schemas.
+// lines), POST /solve/batch (a list of instances in one request, per-item
+// results in order), POST /evaluate, GET /stats, GET /healthz. See
+// internal/serve for the request and response schemas.
 package main
 
 import (

@@ -1,0 +1,70 @@
+// Command mfworker runs one solve-fabric worker: it leases chunks from a
+// coordinator (see cmd/mfcoord), computes them with the same engines a
+// local run uses, and reports results back. Add workers to scale a
+// campaign or exact solve out; kill them freely — leases expire and chunks
+// re-run elsewhere with bit-identical results.
+//
+// Usage:
+//
+//	mfworker -coord http://host:9344
+//	mfworker -coord http://host:9344 -name rack7-3
+//
+// The first SIGTERM or Ctrl-C drains the worker: the chunk in flight
+// finishes and is reported, then the process exits cleanly. A second
+// signal kills it immediately (the chunk's lease expires on the
+// coordinator and the work is reassigned).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"microfab/internal/fabric"
+)
+
+func main() {
+	coord := flag.String("coord", "", "coordinator base URL (required), e.g. http://host:9344")
+	name := flag.String("name", "", "worker name in leases and /status (default host-pid)")
+	poll := flag.Duration("poll", 100*time.Millisecond, "idle re-poll interval")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "in-chunk heartbeat period (keep well under the coordinator's -lease-ttl)")
+	flag.Parse()
+	if *coord == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	w := &fabric.Worker{
+		Base:           *coord,
+		Name:           *name,
+		Poll:           *poll,
+		HeartbeatEvery: *heartbeat,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "mfworker: draining (signal again to kill)")
+		w.Drain()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "mfworker: killed")
+		cancel()
+	}()
+
+	fmt.Fprintf(os.Stderr, "mfworker: %s leasing from %s\n", *name, *coord)
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "mfworker:", err)
+		os.Exit(1)
+	}
+}

@@ -387,6 +387,25 @@ func (inc *incumbent) offer(p float64, mp *core.Mapping) {
 	inc.mu.Unlock()
 }
 
+// injectBound lowers the lock-free pruning bound to p without publishing a
+// mapping — the external-incumbent lever of Options.BoundInjector. Only
+// the atomic bits move; the mutex-guarded (period, mapping) pair is
+// untouched, so a stopped search never reports an injected period it has
+// no mapping for, and OnImprove never fires for foreign solutions.
+// Pruning against the bits is strict, so an injected p that is a true
+// upper bound on the optimum never cuts an optimal subtree.
+func (inc *incumbent) injectBound(p float64) {
+	for {
+		cur := inc.bits.Load()
+		if p >= math.Float64frombits(cur) {
+			return
+		}
+		if inc.bits.CompareAndSwap(cur, math.Float64bits(p)) {
+			return
+		}
+	}
+}
+
 // snapshot returns the best (period, mapping) pair observed so far.
 func (inc *incumbent) snapshot() (float64, *core.Mapping) {
 	inc.mu.Lock()

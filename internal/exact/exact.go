@@ -100,6 +100,18 @@ type Options struct {
 	// Evaluate-normalised Result.Period in the last ulp. Enabling the
 	// callback never changes the nodes explored or the result.
 	OnImprove func(period float64, m *core.Mapping)
+	// BoundInjector, when non-nil, is called once at search start with an
+	// inject function. Calling inject(p) from any goroutine while the
+	// search runs lowers the shared pruning bound to p when p improves on
+	// it — the lever a distributed coordinator uses to feed one worker's
+	// incumbent into another worker's running search (incumbent exchange).
+	// The search prunes strictly (>) against injected bounds, so any p
+	// that is the period of some feasible mapping of the instance — i.e.
+	// an upper bound on the optimum — never prunes away an optimal
+	// subtree: proven results are unchanged by injection, only the node
+	// count shrinks. Injecting a value below the optimum voids that
+	// guarantee.
+	BoundInjector func(inject func(period float64))
 	// MaxNodes caps explored partial assignments (0 = 50 million). The cap
 	// is global: a parallel search shares one atomic node pool across its
 	// workers, so Workers=N never explores more nodes than Workers=1.
@@ -175,6 +187,7 @@ type solver struct {
 	bud     *budget
 
 	onImprove func(float64, *core.Mapping)
+	injector  func(inject func(float64))
 
 	warmPeriod float64
 	warm       *core.Mapping
@@ -279,14 +292,14 @@ func Solve(in *core.Instance, opts Options) (*Result, error) {
 	if w := opts.workers(); w > 1 {
 		return sv.solveParallel(w)
 	}
-	// A sequential search with an OnImprove callback routes improvements
-	// through a (single-owner) shared incumbent. Its period always equals
-	// the searcher's local best, so every pruning test fires exactly as it
-	// would without the callback: the node set is unchanged.
+	// A sequential search with an OnImprove callback or a bound injector
+	// routes improvements through a (single-owner) shared incumbent.
+	// Without injection its period always equals the searcher's local
+	// best, so every pruning test fires exactly as it would without the
+	// callback: the node set is unchanged.
 	var shared *incumbent
-	if sv.onImprove != nil {
-		shared = newIncumbent(sv.warmPeriod, sv.warm)
-		shared.onImprove = sv.onImprove
+	if sv.onImprove != nil || sv.injector != nil {
+		shared = sv.newShared()
 	}
 	s := sv.newSearcher(shared)
 	s.best = sv.warm
@@ -317,6 +330,7 @@ func newSolver(in *core.Instance, opts Options) (*solver, error) {
 		noOrder:    opts.DisableOrder,
 		bud:        newBudget(opts),
 		onImprove:  opts.OnImprove,
+		injector:   opts.BoundInjector,
 		warmPeriod: math.Inf(1),
 	}
 	if !opts.DisableBound {
@@ -423,6 +437,17 @@ func (sv *solver) finish(best *core.Mapping, period float64) (*Result, error) {
 		Proven:  !sv.bud.stop.Load(),
 		Nodes:   sv.bud.reserved.Load(),
 	}, nil
+}
+
+// newShared builds the solver's cross-worker incumbent, wiring the
+// OnImprove stream and handing the external-bound injector its lever.
+func (sv *solver) newShared() *incumbent {
+	shared := newIncumbent(sv.warmPeriod, sv.warm)
+	shared.onImprove = sv.onImprove
+	if sv.injector != nil {
+		sv.injector(shared.injectBound)
+	}
+	return shared
 }
 
 // newSearcher allocates one goroutine's search state over the solver's

@@ -1,0 +1,161 @@
+// Distributed-search primitives: the two halves of the parallel root split
+// (parallel.go) exposed as standalone calls, so a coordinator process can
+// enumerate the frontier once and lease each subtree prefix to worker
+// processes. Determinism carries over unchanged: a subtree's exploration
+// is a pure function of (instance, options, prefix) — the warm start
+// (explicit-incumbent evaluation, H4w, greedy dive) is itself a pure
+// function of the instance, so every process derives the same one — and
+// the coordinator reduces the subtree reports in frontier order exactly
+// like solveParallel does, so the merged proof is byte-identical to a
+// local run for any process count. Externally-injected bounds
+// (Options.BoundInjector) only ever prune strictly, so incumbent exchange
+// changes node counts, never proven results.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/platform"
+)
+
+// FrontierInfo is the enumerated root split of one instance: the subtree
+// prefixes in the order a sequential search first reaches them (the merge
+// order), plus the warm start every participant independently re-derives.
+type FrontierInfo struct {
+	// Prefixes[j][k] is the machine of task order[k] in subtree j; all
+	// prefixes share one length (the enumeration depth). Empty when the
+	// frontier was exhausted during enumeration — the warm start already
+	// is the answer.
+	Prefixes [][]int `json:"prefixes"`
+	// WarmPeriod is the warm-start incumbent's period, 0 when no warm
+	// start exists (a nil WarmAssign; +Inf does not survive JSON).
+	// Workers re-derive it; a mismatch means the processes disagree on
+	// the instance and the merge must abort.
+	WarmPeriod float64 `json:"warmPeriod"`
+	// WarmAssign is the warm-start mapping (task i -> machine), nil when
+	// no feasible warm start exists.
+	WarmAssign []int `json:"warmAssign,omitempty"`
+	// Nodes the enumeration consumed from the budget.
+	Nodes int64 `json:"nodes"`
+	// Stopped reports that the budget (or context) interrupted the
+	// enumeration: the prefixes do not partition the search space and
+	// must not be used for a proof.
+	Stopped bool `json:"stopped"`
+}
+
+// Frontier enumerates the root frontier of in to at least target subtrees
+// (bounded by the tree's own width), under the same pruning discipline the
+// search itself uses. The options' budget meters the enumeration nodes.
+func Frontier(in *core.Instance, opts Options, target int) (*FrontierInfo, error) {
+	sv, err := newSolver(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	if target < 1 {
+		target = 1
+	}
+	shared := sv.newShared()
+	enum := sv.newSearcher(shared)
+	enum.bestPeriod = sv.warmPeriod
+	jobs, _ := sv.enumerate(enum, target)
+	enum.meter.release()
+
+	info := &FrontierInfo{
+		WarmPeriod: finiteOrZero(sv.warmPeriod),
+		Nodes:      sv.bud.reserved.Load(),
+		Stopped:    sv.bud.stop.Load(),
+	}
+	if sv.warm != nil {
+		info.WarmAssign = assignSlice(sv.warm)
+	}
+	info.Prefixes = make([][]int, len(jobs))
+	for j, prefix := range jobs {
+		p := make([]int, len(prefix))
+		for k, u := range prefix {
+			p[k] = int(u)
+		}
+		info.Prefixes[j] = p
+	}
+	return info, nil
+}
+
+// SubtreeOutcome is one leased subtree's deterministic report: its best
+// strict improvement over the shared warm start, if any.
+type SubtreeOutcome struct {
+	// Found marks an improvement; Period and Assign carry it. The period
+	// is the search's own Pricer value (the merge re-normalises the
+	// winning mapping through core.Period, like a local solve does).
+	Found  bool    `json:"found"`
+	Period float64 `json:"period,omitempty"`
+	Assign []int   `json:"assign,omitempty"`
+	// Nodes explored in this subtree; Stopped reports a budget or
+	// cancellation interrupt (the subtree is not exhausted — the merge
+	// must not claim a proof).
+	Nodes   int64 `json:"nodes"`
+	Stopped bool  `json:"stopped"`
+	// WarmPeriod echoes the warm start this worker derived (0 when none
+	// exists, mirroring FrontierInfo); the coordinator cross-checks it
+	// against its own before merging.
+	WarmPeriod float64 `json:"warmPeriod"`
+}
+
+// SolveSubtree explores the one subtree under prefix (a FrontierInfo
+// prefix) exactly as a solveParallel worker would: local incumbent seeded
+// at the warm-start period, non-strict pruning against it, strict pruning
+// against externally-injected bounds. The options must equal the ones the
+// frontier was enumerated with, or the subtrees stop partitioning the
+// sequential node set.
+func SolveSubtree(in *core.Instance, opts Options, prefix []int) (*SubtreeOutcome, error) {
+	sv, err := newSolver(in, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(prefix) >= in.N() {
+		return nil, fmt.Errorf("exact: subtree prefix covers %d of %d tasks", len(prefix), in.N())
+	}
+	pfx := make([]platform.MachineID, len(prefix))
+	for k, u := range prefix {
+		if u < 0 || u >= in.M() {
+			return nil, fmt.Errorf("exact: subtree prefix assigns machine %d of %d", u, in.M())
+		}
+		pfx[k] = platform.MachineID(u)
+	}
+	shared := sv.newShared()
+	s := sv.newSearcher(shared)
+	s.push(pfx)
+	s.best = nil
+	s.bestPeriod = sv.warmPeriod
+	s.dfs(len(pfx))
+	s.pop(pfx)
+	s.meter.release()
+
+	out := &SubtreeOutcome{
+		Nodes:      sv.bud.reserved.Load(),
+		Stopped:    sv.bud.stop.Load(),
+		WarmPeriod: finiteOrZero(sv.warmPeriod),
+	}
+	if s.best != nil {
+		out.Found = true
+		out.Period = s.bestPeriod
+		out.Assign = assignSlice(s.best)
+	}
+	return out, nil
+}
+
+func finiteOrZero(p float64) float64 {
+	if math.IsInf(p, 0) {
+		return 0
+	}
+	return p
+}
+
+func assignSlice(m *core.Mapping) []int {
+	out := make([]int, m.Len())
+	for i := range out {
+		out[i] = int(m.Machine(app.TaskID(i)))
+	}
+	return out
+}

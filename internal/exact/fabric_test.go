@@ -1,0 +1,178 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"microfab/internal/app"
+	"microfab/internal/core"
+	"microfab/internal/gen"
+	"microfab/internal/platform"
+)
+
+// mergeSubtrees reduces subtree outcomes in frontier order, exactly like a
+// coordinator does: warm start first, then the first strict improvement
+// chain (the same loop as solveParallel's report reduction).
+func mergeSubtrees(t *testing.T, in *core.Instance, front *FrontierInfo, outs []*SubtreeOutcome) (float64, []int, bool) {
+	t.Helper()
+	bestPeriod := math.Inf(1)
+	bestAssign := front.WarmAssign
+	if bestAssign != nil {
+		bestPeriod = front.WarmPeriod
+	}
+	proven := !front.Stopped
+	for _, o := range outs {
+		if o.Stopped {
+			proven = false
+		}
+		if o.Found && o.Period < bestPeriod {
+			bestPeriod, bestAssign = o.Period, o.Assign
+		}
+	}
+	if bestAssign == nil {
+		t.Fatal("merge found no mapping")
+	}
+	mp := core.NewMapping(in.N())
+	for i, u := range bestAssign {
+		mp.Assign(app.TaskID(i), platform.MachineID(u))
+	}
+	return core.Period(in, mp), bestAssign, proven
+}
+
+// TestSubtreeMergeMatchesSolve: Frontier + SolveSubtree per prefix,
+// reduced in frontier order, reproduces Solve bit for bit — with and
+// without an injected external bound equal to the optimum (the strongest
+// safe injection).
+func TestSubtreeMergeMatchesSolve(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		in, err := gen.Chain(gen.Default(11, 3, 5), gen.RNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Rule: core.Specialized, WarmStart: true}
+		ref, err := Solve(in, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Proven {
+			t.Fatal("reference not proven")
+		}
+
+		front, err := Frontier(in, opts, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if front.Stopped {
+			t.Fatal("frontier enumeration stopped")
+		}
+		for _, inject := range []bool{false, true} {
+			outs := make([]*SubtreeOutcome, len(front.Prefixes))
+			for j, prefix := range front.Prefixes {
+				o := opts
+				if inject {
+					// The sharpest valid external bound: the optimum
+					// itself, injected the moment the search starts.
+					o.BoundInjector = func(fn func(float64)) { fn(ref.Period) }
+				}
+				out, err := SolveSubtree(in, o, prefix)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.WarmPeriod != front.WarmPeriod {
+					t.Fatalf("subtree warm %v != frontier warm %v", out.WarmPeriod, front.WarmPeriod)
+				}
+				outs[j] = out
+			}
+			period, assign, proven := mergeSubtrees(t, in, front, outs)
+			if !proven {
+				t.Fatalf("inject=%v: merge not proven", inject)
+			}
+			if period != ref.Period {
+				t.Fatalf("inject=%v: merged period %v != %v", inject, period, ref.Period)
+			}
+			for i, u := range assign {
+				if platform.MachineID(u) != ref.Mapping.Machine(app.TaskID(i)) {
+					t.Fatalf("inject=%v seed=%d: merged mapping diverges at task %d", inject, seed, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierExhausted: an instance whose warm start is already optimal
+// can enumerate an empty frontier; the info must say so rather than lie
+// with prefixes.
+func TestFrontierExhausted(t *testing.T) {
+	in, err := gen.Chain(gen.Default(2, 1, 1), gen.RNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := Frontier(in, Options{Rule: core.Specialized, WarmStart: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.Stopped {
+		t.Fatal("stopped on a trivial instance")
+	}
+	if front.WarmAssign == nil {
+		t.Fatal("no warm start on a trivial instance")
+	}
+	// With one machine the warm start is optimal; whatever the frontier
+	// shape, solving every prefix must not beat it.
+	for _, prefix := range front.Prefixes {
+		out, err := SolveSubtree(in, Options{Rule: core.Specialized, WarmStart: true}, prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Found && out.Period < front.WarmPeriod {
+			t.Fatalf("subtree beat a provably optimal warm start: %v < %v", out.Period, front.WarmPeriod)
+		}
+	}
+}
+
+// TestSolveSubtreeRejectsBadPrefix: malformed prefixes are typed errors,
+// not panics.
+func TestSolveSubtreeRejectsBadPrefix(t *testing.T) {
+	in, err := gen.Chain(gen.Default(5, 2, 3), gen.RNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveSubtree(in, Options{}, []int{0, 1, 2, 0, 1}); err == nil {
+		t.Fatal("full-length prefix accepted")
+	}
+	if _, err := SolveSubtree(in, Options{}, []int{7}); err == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+}
+
+// TestBoundInjectorSequential: injecting the known optimum into a plain
+// sequential Solve must not change the proven result (strict pruning), and
+// must not inflate the node count.
+func TestBoundInjectorSequential(t *testing.T) {
+	in, err := gen.Chain(gen.Default(10, 2, 4), gen.RNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Solve(in, Options{Rule: core.Specialized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, Options{
+		Rule:          core.Specialized,
+		BoundInjector: func(fn func(float64)) { fn(ref.Period) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven || res.Period != ref.Period {
+		t.Fatalf("injected solve diverged: period %v (proven %v) vs %v", res.Period, res.Proven, ref.Period)
+	}
+	for i := 0; i < in.N(); i++ {
+		if res.Mapping.Machine(app.TaskID(i)) != ref.Mapping.Machine(app.TaskID(i)) {
+			t.Fatalf("injected solve changed the mapping at task %d", i)
+		}
+	}
+	if res.Nodes > ref.Nodes {
+		t.Fatalf("injection inflated nodes: %d > %d", res.Nodes, ref.Nodes)
+	}
+}

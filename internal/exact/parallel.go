@@ -46,11 +46,10 @@ type report struct {
 
 // solveParallel runs the root split over `workers` goroutines.
 func (sv *solver) solveParallel(workers int) (*Result, error) {
-	shared := newIncumbent(sv.warmPeriod, sv.warm)
-	shared.onImprove = sv.onImprove
+	shared := sv.newShared()
 	enum := sv.newSearcher(shared)
 	enum.bestPeriod = sv.warmPeriod
-	jobs, depth := sv.enumerate(enum, workers)
+	jobs, depth := sv.enumerate(enum, 8*workers)
 	enum.meter.release()
 
 	if len(jobs) == 0 || sv.bud.stop.Load() {
@@ -105,16 +104,16 @@ func (sv *solver) solveParallel(workers int) (*Result, error) {
 	return sv.finish(best, bestPeriod)
 }
 
-// enumerate expands the assignment frontier level by level until it is wide
-// enough to keep the pool busy (~8 subtrees per worker), the next level
-// would complete the mapping, or the budget stops the search. Every prefix
-// respects the rule, the dominance filter, and the warm-start pruning, so
-// the subtrees partition exactly the node set a sequential search visits.
-func (sv *solver) enumerate(s *searcher, workers int) ([][]platform.MachineID, int) {
+// enumerate expands the assignment frontier level by level until it is at
+// least target subtrees wide (the root split uses ~8 per worker), the next
+// level would complete the mapping, or the budget stops the search. Every
+// prefix respects the rule, the dominance filter, and the warm-start
+// pruning, so the subtrees partition exactly the node set a sequential
+// search visits.
+func (sv *solver) enumerate(s *searcher, target int) ([][]platform.MachineID, int) {
 	n := len(sv.order)
 	frontier := [][]platform.MachineID{nil}
 	depth := 0
-	target := 8 * workers
 	for depth < n-1 && len(frontier) < target {
 		var next [][]platform.MachineID
 		for _, prefix := range frontier {

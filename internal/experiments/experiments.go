@@ -251,10 +251,16 @@ type campaign struct {
 	run func(ctx context.Context, x int, sub int64, w *worker) (map[string]float64, bool, error)
 }
 
-// drawOut is the outcome of one (point, draw) work item.
-type drawOut struct {
-	values map[string]float64
-	ok     bool
+// DrawResult is the outcome of one (point, draw) work item — the unit of
+// work a distributed campaign ships across the solve fabric. Values maps
+// each series the draw emits to its value; OK=false drops the draw from
+// the reduction (exact budget exhausted), mirroring the paper's rule.
+// Both fields survive a JSON round trip bit-exactly (finite float64s
+// re-parse to the same bits), which is what lets a remotely-computed draw
+// merge byte-identically with locally-computed ones.
+type DrawResult struct {
+	Values map[string]float64 `json:"values,omitempty"`
+	OK     bool               `json:"ok"`
 }
 
 // runCampaign is the concurrent engine shared by every figure. It fans the
@@ -263,18 +269,14 @@ type drawOut struct {
 // or parent-context cancellation, and reduces the per-draw outputs in
 // deterministic sequential order.
 func runCampaign(ctx context.Context, cfg Config, c campaign) (*Result, error) {
-	res := &Result{
-		ID: c.id, Title: c.title, XLabel: c.xlabel, YLabel: c.ylabel,
-		SeriesOrder: c.order, Draws: cfg.draws(c.paperDraws), Seed: cfg.seed(),
-		Normalized: c.normalized,
-	}
+	draws := cfg.draws(c.paperDraws)
 	xs := cfg.thin(c.xs)
 	figKey := gen.StringSeed(c.id)
-	total := len(xs) * res.Draws
+	total := len(xs) * draws
 
-	out := make([][]drawOut, len(xs))
+	out := make([][]DrawResult, len(xs))
 	for i := range out {
-		out[i] = make([]drawOut, res.Draws)
+		out[i] = make([]DrawResult, draws)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -309,14 +311,14 @@ func runCampaign(ctx context.Context, cfg Config, c campaign) (*Result, error) {
 				if ctx.Err() != nil {
 					continue // cancelled: drain remaining items
 				}
-				sub := gen.SubSeed(res.Seed, figKey, int64(it.x), int64(it.d))
+				sub := gen.SubSeed(cfg.seed(), figKey, int64(it.x), int64(it.d))
 				vals, ok, err := c.run(ctx, it.x, sub, w)
 				if err != nil {
 					fail(fmt.Errorf("%s: x=%d draw=%d: %w", c.id, it.x, it.d, err))
 					continue
 				}
 				mu.Lock()
-				out[it.xi][it.d] = drawOut{values: vals, ok: ok}
+				out[it.xi][it.d] = DrawResult{Values: vals, OK: ok}
 				done++
 				if cfg.Progress != nil {
 					cfg.Progress(done, total)
@@ -327,7 +329,7 @@ func runCampaign(ctx context.Context, cfg Config, c campaign) (*Result, error) {
 	}
 feed:
 	for xi, x := range xs {
-		for d := 0; d < res.Draws; d++ {
+		for d := 0; d < draws; d++ {
 			select {
 			case jobs <- item{xi, x, d}:
 			case <-ctx.Done():
@@ -343,22 +345,34 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%s: %w", c.id, err)
 	}
+	return c.reduce(cfg, xs, out), nil
+}
 
-	// Reduce in (point, draw) order: identical to what a sequential run
-	// appends, whatever order the workers finished in.
+// reduce folds a fully-populated (point, draw) outcome matrix into the
+// figure Result, walking items in (point, draw) order — identical to what
+// a sequential run appends, whatever order (or process) the items were
+// computed in. It is the one reduction shared by the in-process engine and
+// the distributed fabric's merge (Assemble), which is what makes a
+// distributed campaign byte-identical to a local one.
+func (c campaign) reduce(cfg Config, xs []int, out [][]DrawResult) *Result {
+	res := &Result{
+		ID: c.id, Title: c.title, XLabel: c.xlabel, YLabel: c.ylabel,
+		SeriesOrder: c.order, Draws: cfg.draws(c.paperDraws), Seed: cfg.seed(),
+		Normalized: c.normalized,
+	}
 	for xi, x := range xs {
 		pt := Point{X: x, Series: map[string]stats.Summary{}}
 		samples := map[string][]float64{}
 		for d := 0; d < res.Draws; d++ {
 			o := out[xi][d]
-			if !o.ok {
+			if !o.OK {
 				continue
 			}
 			if c.countSolved {
 				pt.Solved++
 			}
 			for _, name := range c.order {
-				if v, present := o.values[name]; present {
+				if v, present := o.Values[name]; present {
 					samples[name] = append(samples[name], v)
 				}
 			}
@@ -368,7 +382,7 @@ feed:
 		}
 		res.Points = append(res.Points, pt)
 	}
-	return res, nil
+	return res
 }
 
 // runHeuristic names a heuristic and produces its mapping on an instance.

@@ -1,0 +1,93 @@
+// Sharding API: the experiment engine's campaigns decompose into
+// independent (point, draw) items whose values are pure functions of
+// (Config.Seed, figure, point, draw) — the per-draw RNG streams of
+// gen.DeriveRNG. This file exposes that decomposition so a distributed
+// runner (internal/fabric) can compute disjoint draw ranges in separate
+// processes and merge them back byte-identically: FigurePlan names the
+// item grid, RunDraws computes one contiguous range of it, and Assemble
+// performs the same deterministic reduction a local run ends with.
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"microfab/internal/gen"
+)
+
+// Plan is the shardable shape of one figure's campaign: the thinned x-axis
+// grid and the number of draws per point. The item space is the cross
+// product Xs × [0, Draws); any partition of it into (point, draw-range)
+// chunks reassembles into the same Result.
+type Plan struct {
+	Figure int   `json:"figure"`
+	Xs     []int `json:"xs"`
+	Draws  int   `json:"draws"`
+}
+
+// FigurePlan returns the item grid of figure num under cfg.
+func FigurePlan(num int, cfg Config) (Plan, error) {
+	c, err := figureCampaign(num, cfg)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		Figure: num,
+		Xs:     append([]int(nil), cfg.thin(c.xs)...),
+		Draws:  cfg.draws(c.paperDraws),
+	}, nil
+}
+
+// RunDraws computes draws [d0, d1) of the point at x-axis value x of
+// figure num. Each draw derives its private RNG streams from
+// (cfg.Seed, figure, x, d) exactly as the local engine does, so the
+// returned values are independent of which process (or worker, or chunk
+// split) computes them. The one scratch worker state is shared across the
+// range, like one local pool goroutine would.
+func RunDraws(ctx context.Context, num int, cfg Config, x, d0, d1 int) ([]DrawResult, error) {
+	if d0 < 0 || d1 < d0 {
+		return nil, fmt.Errorf("experiments: bad draw range [%d, %d)", d0, d1)
+	}
+	c, err := figureCampaign(num, cfg)
+	if err != nil {
+		return nil, err
+	}
+	figKey := gen.StringSeed(c.id)
+	w := &worker{}
+	out := make([]DrawResult, 0, d1-d0)
+	for d := d0; d < d1; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sub := gen.SubSeed(cfg.seed(), figKey, int64(x), int64(d))
+		vals, ok, err := c.run(ctx, x, sub, w)
+		if err != nil {
+			return nil, fmt.Errorf("%s: x=%d draw=%d: %w", c.id, x, d, err)
+		}
+		out = append(out, DrawResult{Values: vals, OK: ok})
+	}
+	return out, nil
+}
+
+// Assemble reduces a fully-populated outcome matrix — out[xi][d] holds the
+// draw d of point Plan.Xs[xi] — into the figure Result, running the exact
+// reduction a local campaign ends with. A matrix whose dimensions disagree
+// with the figure's plan under cfg is rejected (a merge hole would
+// otherwise silently drop draws).
+func Assemble(num int, cfg Config, out [][]DrawResult) (*Result, error) {
+	c, err := figureCampaign(num, cfg)
+	if err != nil {
+		return nil, err
+	}
+	xs := cfg.thin(c.xs)
+	draws := cfg.draws(c.paperDraws)
+	if len(out) != len(xs) {
+		return nil, fmt.Errorf("experiments: assemble: %d points, plan has %d", len(out), len(xs))
+	}
+	for xi := range out {
+		if len(out[xi]) != draws {
+			return nil, fmt.Errorf("experiments: assemble: point %d has %d draws, plan has %d", xi, len(out[xi]), draws)
+		}
+	}
+	return c.reduce(cfg, xs, out), nil
+}

@@ -1,0 +1,61 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"microfab/internal/experiments"
+)
+
+// SubmitCampaign posts one campaign to a coordinator and blocks for the
+// merged figure — the call mfexp -coord makes. Deliberately single-shot:
+// retrying a blocking submit would enqueue the whole job again.
+func SubmitCampaign(ctx context.Context, client *http.Client, base string, spec CampaignSpec) (*experiments.Result, error) {
+	var res experiments.Result
+	if err := submit(ctx, client, base+"/campaign", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SubmitExact posts one distributed exact solve and blocks for the merged
+// proof.
+func SubmitExact(ctx context.Context, client *http.Client, base string, spec ExactSpec) (*ExactResult, error) {
+	var res ExactResult
+	if err := submit(ctx, client, base+"/exact", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func submit(ctx context.Context, client *http.Client, url string, in, out any) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		if b, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); rerr == nil && json.Unmarshal(b, &er) == nil && er.Error != "" {
+			return &apiError{Status: resp.StatusCode, Code: er.Error, Detail: er.Detail}
+		}
+		return fmt.Errorf("coordinator: HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,119 @@
+// POST /solve/batch: many instances in one request. Each item runs the
+// same admission → cache lookup → worker-pool path as a lone /solve; the
+// wins over N separate posts are one HTTP round trip and full pool
+// parallelism across the items (all cache misses enqueue before the first
+// result is awaited). Items succeed and fail independently — the response
+// carries per-item results in request order, never a partial list.
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// maxBatchItems caps one batch request; larger batches are rejected with
+// "batch-too-large" (split client-side, the cap is per round trip).
+const maxBatchItems = 256
+
+// BatchRequest is the POST /solve/batch body. Item streaming is not
+// supported: a batch answers once, with every item settled.
+type BatchRequest struct {
+	Items []SolveRequest `json:"items"`
+}
+
+// BatchItem is one item's outcome: exactly one of Result and Error is set.
+type BatchItem struct {
+	Result *SolveResponse `json:"result,omitempty"`
+	Error  *ErrorResponse `json:"error,omitempty"`
+}
+
+// BatchResponse answers a batch in request order.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+	// CacheHits counts the items answered from the solution cache;
+	// Solved counts the items that went through the worker pool.
+	CacheHits int     `json:"cacheHits"`
+	Solved    int     `json:"solved"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+func itemErr(code, detail string) BatchItem {
+	return BatchItem{Error: &ErrorResponse{Error: code, Detail: detail}}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "method-not-allowed", "POST a BatchRequest")
+		return
+	}
+	t0 := time.Now()
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty-batch", "items is empty")
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeErr(w, http.StatusBadRequest, "batch-too-large",
+			"batch exceeds the server cap; split it client-side")
+		return
+	}
+
+	resp := BatchResponse{Items: make([]BatchItem, len(req.Items))}
+	// Phase 1: admit, probe the cache, and enqueue every miss — so the
+	// pool works the whole batch concurrently, not item by item.
+	jobs := make([]*job, len(req.Items))
+	for i := range req.Items {
+		item := &req.Items[i]
+		s.stats.requests.Add(1)
+		if item.Stream {
+			resp.Items[i] = itemErr("bad-request", "stream is not supported inside a batch")
+			continue
+		}
+		p, herr := s.admit(item)
+		if herr != nil {
+			resp.Items[i] = itemErr(herr.code, herr.detail)
+			continue
+		}
+		if !p.noCache {
+			var hit SolveResponse
+			if s.lookup(&p, &hit) {
+				hit.ElapsedMs = elapsedMs(t0)
+				s.hist.observe(time.Since(t0))
+				resp.Items[i] = BatchItem{Result: &hit}
+				resp.CacheHits++
+				continue
+			}
+		}
+		j := &job{ctx: r.Context(), p: p, start: t0, done: make(chan solveOutcome, 1)}
+		if !s.enqueue(j) {
+			s.stats.rejected.Add(1)
+			resp.Items[i] = itemErr("overloaded", "solve queue full; retry later")
+			continue
+		}
+		jobs[i] = j
+	}
+	// Phase 2: settle the enqueued items in request order. Every enqueued
+	// job gets exactly one outcome (the done channel is buffered, workers
+	// never block on it), so this drains even if the client hung up.
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		out := <-j.done
+		if out.err != nil {
+			resp.Items[i] = itemErr(out.code, out.err.Error())
+			continue
+		}
+		br := s.buildResponse(&j.p, &out, t0)
+		s.hist.observe(time.Since(t0))
+		resp.Items[i] = BatchItem{Result: br}
+		resp.Solved++
+	}
+	resp.ElapsedMs = elapsedMs(t0)
+	writeJSON(w, http.StatusOK, &resp)
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postBatch(t *testing.T, h http.Handler, req BatchRequest) (*httptest.ResponseRecorder, *BatchResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/solve/batch", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("batch response: %v\n%s", err, rec.Body.Bytes())
+	}
+	return rec, &resp
+}
+
+// TestBatchCacheHitMix: one batch mixing exact repeats, an isomorphic
+// repeat, fresh instances and malformed items — per-item results in
+// request order, hits answered from cache, errors isolated to their item.
+func TestBatchCacheHitMix(t *testing.T) {
+	s := NewServer(Config{Workers: 2, CacheSize: 64})
+	defer s.Close()
+	h := s.Handler()
+
+	seedFile := genFile(t, 8, 2, 3, 0, 41)
+	// Solve once through /solve so the batch's repeat items can hit.
+	body, _ := json.Marshal(SolveRequest{Instance: *seedFile})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("seed solve: HTTP %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var seeded SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &seeded); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	iso := permuteFile(seedFile, randPerm(rng, 8), randPerm(rng, 3), randPerm(rng, 2))
+	fresh := genFile(t, 9, 2, 3, 2, 99)
+	bad := copyFile(seedFile)
+	bad.Times = bad.Times[:3] // malformed: matrix shorter than tasks
+
+	hits0 := s.cache.hits.Load()
+	_, resp := postBatch(t, h, BatchRequest{Items: []SolveRequest{
+		{Instance: *seedFile},                 // 0: exact repeat -> hit
+		{Instance: *iso},                      // 1: isomorphic repeat -> hit
+		{Instance: *fresh},                    // 2: fresh -> solved
+		{Instance: *bad},                      // 3: malformed -> item error
+		{Instance: *seedFile, Solver: "nope"}, // 4: unknown solver -> item error
+		{Instance: *seedFile, Stream: true},   // 5: stream in batch -> item error
+		{Instance: *seedFile, Solver: "H4w"},  // 6: other solver, same instance -> solved
+	}})
+	if resp == nil {
+		t.Fatal("batch rejected")
+	}
+	if len(resp.Items) != 7 {
+		t.Fatalf("%d items, want 7", len(resp.Items))
+	}
+	for i, wantHit := range map[int]bool{0: true, 1: true} {
+		it := resp.Items[i]
+		if it.Result == nil || !it.Result.Cached || !wantHit {
+			t.Fatalf("item %d: want cache hit, got %+v", i, it)
+		}
+		if it.Result.Period != seeded.Period {
+			t.Fatalf("item %d: period %v != seeded %v", i, it.Result.Period, seeded.Period)
+		}
+	}
+	if it := resp.Items[2]; it.Result == nil || it.Result.Cached {
+		t.Fatalf("item 2: want fresh solve, got %+v", it)
+	}
+	for i, code := range map[int]string{3: "bad-instance", 4: "unknown-solver", 5: "bad-request"} {
+		if it := resp.Items[i]; it.Error == nil || it.Error.Error != code {
+			t.Fatalf("item %d: want error %q, got %+v", i, code, it)
+		}
+	}
+	if it := resp.Items[6]; it.Result == nil || it.Result.Cached || it.Result.Solver != "H4w" {
+		t.Fatalf("item 6: want fresh H4w solve, got %+v", it)
+	}
+	if resp.CacheHits != 2 || resp.Solved != 2 {
+		t.Fatalf("batch counters: hits=%d solved=%d, want 2/2", resp.CacheHits, resp.Solved)
+	}
+	if got := s.cache.hits.Load() - hits0; got != 2 {
+		t.Fatalf("server cache hits moved by %d, want 2", got)
+	}
+
+	// The batch's solves are themselves cached: re-sending the same batch
+	// answers every solvable item from cache.
+	_, resp2 := postBatch(t, h, BatchRequest{Items: []SolveRequest{
+		{Instance: *seedFile}, {Instance: *iso}, {Instance: *fresh}, {Instance: *seedFile, Solver: "H4w"},
+	}})
+	if resp2.CacheHits != 4 || resp2.Solved != 0 {
+		t.Fatalf("repeat batch: hits=%d solved=%d, want 4/0", resp2.CacheHits, resp2.Solved)
+	}
+}
+
+// TestBatchRejections: empty and oversized batches, and wrong methods, are
+// whole-request typed errors.
+func TestBatchRejections(t *testing.T) {
+	s := NewServer(Config{Workers: 1})
+	defer s.Close()
+	h := s.Handler()
+
+	rec, _ := postBatch(t, h, BatchRequest{})
+	if rec.Code != http.StatusBadRequest || !bytes.Contains(rec.Body.Bytes(), []byte("empty-batch")) {
+		t.Fatalf("empty batch: HTTP %d %s", rec.Code, rec.Body.Bytes())
+	}
+
+	over := BatchRequest{Items: make([]SolveRequest, maxBatchItems+1)}
+	f := genFile(t, 4, 2, 2, 0, 7)
+	for i := range over.Items {
+		over.Items[i] = SolveRequest{Instance: *f}
+	}
+	rec, _ = postBatch(t, h, over)
+	if rec.Code != http.StatusBadRequest || !bytes.Contains(rec.Body.Bytes(), []byte("batch-too-large")) {
+		t.Fatalf("oversized batch: HTTP %d %s", rec.Code, rec.Body.Bytes())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/solve/batch", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch: HTTP %d", rec.Code)
+	}
+}

@@ -1,0 +1,146 @@
+// LRU mechanics of the solution cache: capacity boundary, eviction order,
+// and the /stats entry count across an evict + re-insert cycle.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func ck(i int) cacheKey {
+	var k cacheKey
+	k.digest[0] = byte(i)
+	k.digest[1] = byte(i >> 8)
+	return k
+}
+
+func ce(i int) *cacheEntry {
+	return &cacheEntry{canonAssign: []int32{int32(i)}, period: float64(i)}
+}
+
+// TestCacheCapacityBoundary: a cache at capacity holds exactly capacity
+// entries; the next distinct put evicts exactly one.
+func TestCacheCapacityBoundary(t *testing.T) {
+	const cap = 4
+	c := newSolutionCache(cap)
+	for i := 0; i < cap; i++ {
+		c.put(ck(i), ce(i))
+	}
+	if c.len() != cap {
+		t.Fatalf("at capacity: len %d, want %d", c.len(), cap)
+	}
+	for i := 0; i < cap; i++ {
+		if c.get(ck(i)) == nil {
+			t.Fatalf("entry %d missing at capacity", i)
+		}
+	}
+	c.put(ck(cap), ce(cap))
+	if c.len() != cap {
+		t.Fatalf("beyond capacity: len %d, want %d", c.len(), cap)
+	}
+	// Re-putting an existing key replaces in place — no eviction.
+	c.put(ck(cap), ce(99))
+	if c.len() != cap {
+		t.Fatalf("refresh grew the cache: len %d, want %d", c.len(), cap)
+	}
+	if e := c.get(ck(cap)); e == nil || e.period != 99 {
+		t.Fatalf("refresh did not replace the entry: %+v", e)
+	}
+}
+
+// TestCacheEvictionOrder: eviction removes the least recently *used*
+// entry, where both get and put refresh recency.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := newSolutionCache(3)
+	c.put(ck(0), ce(0))
+	c.put(ck(1), ce(1))
+	c.put(ck(2), ce(2))
+	// Touch 0 (the oldest) via get: 1 becomes the LRU.
+	if c.get(ck(0)) == nil {
+		t.Fatal("warm entry 0 missing")
+	}
+	c.put(ck(3), ce(3)) // must evict 1
+	if c.get(ck(1)) != nil {
+		t.Fatal("entry 1 survived; eviction ignored get-recency")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if c.get(ck(i)) == nil {
+			t.Fatalf("entry %d evicted out of order", i)
+		}
+	}
+	// Refresh 2 via put, then push one more: 0 is now the LRU.
+	c.put(ck(2), ce(22))
+	c.put(ck(4), ce(4)) // must evict 0
+	if c.get(ck(0)) != nil {
+		t.Fatal("entry 0 survived; eviction ignored put-recency")
+	}
+	for _, i := range []int{2, 3, 4} {
+		if c.get(ck(i)) == nil {
+			t.Fatalf("entry %d evicted out of order after refresh", i)
+		}
+	}
+}
+
+// TestCacheEvictReinsertStats: /stats cacheEntries tracks the live count
+// across fill, eviction and re-insert-after-evict — an evicted key that
+// returns is a fresh entry (a miss then a recount), never a double count.
+func TestCacheEvictReinsertStats(t *testing.T) {
+	s := NewServer(Config{Workers: 1, CacheSize: 2})
+	defer s.Close()
+	h := s.Handler()
+
+	readStats := func() StatsResponse {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+		var st StatsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	solve := func(seed int64) {
+		body, _ := json.Marshal(SolveRequest{Instance: *genFile(t, 6, 2, 2, 0, seed)})
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("solve(%d): HTTP %d: %s", seed, rec.Code, rec.Body.Bytes())
+		}
+	}
+
+	for i, want := range []int{1, 2, 2} { // third distinct instance evicts
+		solve(int64(100 + i))
+		if got := readStats().CacheEntries; got != want {
+			t.Fatalf("after %d solves: cacheEntries %d, want %d", i+1, got, want)
+		}
+	}
+	st0 := readStats()
+	// Instance 100 was evicted by 102 (LRU). Re-solving it must MISS (a
+	// fresh solve, not a stale hit), re-insert it, and keep the count at
+	// capacity.
+	solve(100)
+	st1 := readStats()
+	if st1.CacheMisses != st0.CacheMisses+1 {
+		t.Fatalf("re-solve of evicted instance hit the cache (misses %d -> %d)", st0.CacheMisses, st1.CacheMisses)
+	}
+	if st1.CacheEntries != 2 {
+		t.Fatalf("after re-insert: cacheEntries %d, want 2", st1.CacheEntries)
+	}
+	// And now it hits again.
+	hits0 := st1.CacheHits
+	solve(100)
+	if st := readStats(); st.CacheHits != hits0+1 || st.CacheEntries != 2 {
+		t.Fatalf("re-inserted entry does not serve hits: %+v", st)
+	}
+
+	// Guard the arithmetic: entries never exceeds CacheSize however many
+	// distinct instances pass through.
+	for i := 0; i < 5; i++ {
+		solve(int64(200 + i))
+	}
+	if got := readStats().CacheEntries; got != 2 {
+		t.Fatalf("cacheEntries %d after churn, want 2", got)
+	}
+}

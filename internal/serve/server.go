@@ -22,7 +22,8 @@
 //     exposed on /stats next to the cache hit/miss counters.
 //
 // Endpoints: POST /solve (set "stream": true for incumbent-streaming
-// JSON lines), POST /evaluate, GET /stats, GET /healthz.
+// JSON lines), POST /solve/batch (many instances, one round trip, per-item
+// results in order), POST /evaluate, GET /stats, GET /healthz.
 package serve
 
 import (
@@ -216,6 +217,7 @@ func NewServer(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/solve/batch", s.handleBatch)
 	s.mux.HandleFunc("/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
