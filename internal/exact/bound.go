@@ -100,6 +100,14 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 	if k == n || lb >= localBest || lb > sharedP {
 		return lb
 	}
+	if s.relaxEnabled && s.rx == nil && s.meter.used >= relaxWarmup {
+		// The search outgrew the relaxWarmup node count: build the
+		// relaxation tiers (relax.go). Easy searches never get here, so
+		// they never pay for the workspaces.
+		s.rx = newRelaxer(s.in, s.noAssign, s.noLP)
+		s.minLand = make([]float64, n)
+		s.landArg = make([]int, n)
+	}
 	b := s.bnd
 	spec := s.rule == core.Specialized
 	var total float64
@@ -129,6 +137,7 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 	// set: dedications and one-to-one uses are never undone), so the
 	// cheapest landing — current load included — bounds the final period.
 	maxTask := 0.0
+	track := s.rx != nil
 	for j := k; j < n; j++ {
 		i := s.order[j]
 		var d float64
@@ -147,14 +156,21 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 			s.typeW[ty] += c
 		}
 		land := math.Inf(1)
+		landAt := -1
 		s.pr.PriceAllAt(i, d, s.land)
 		for u := 0; u < s.m; u++ {
 			if !s.feasible(u, ty) {
 				continue
 			}
 			if at := s.land[u]; at < land {
-				land = at
+				land, landAt = at, u
 			}
+		}
+		if track {
+			// The relaxation tiers' collision gate and representative choice
+			// read these (relax.go) instead of re-pricing.
+			s.minLand[j] = land
+			s.landArg[j] = landAt
 		}
 		if land > maxTask {
 			maxTask = land
@@ -185,6 +201,12 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 		}
 	} else if pk := total / float64(s.m) * sumSlack; pk > lb {
 		lb = pk
+	}
+	if s.rx != nil {
+		// Relaxation tiers (relax.go): the combinatorial bound failed to
+		// prune, s.dlb is filled for this node — strengthen if the gates
+		// say the extra work can convert.
+		lb = s.strengthen(k, lb, localBest, sharedP)
 	}
 	return lb
 }

@@ -134,6 +134,13 @@ type Options struct {
 	// DisableBound turns the admissible per-node lower bound off, for
 	// ablations and node-count tests. The optimum is unaffected either way.
 	DisableBound bool
+	// DisableAssignBound turns the bottleneck-assignment relaxation tier
+	// off (relax.go), leaving the combinatorial bound (and the LP tier)
+	// alone, for ablations. The optimum is unaffected either way.
+	DisableAssignBound bool
+	// DisableLPBound turns the LP relaxation tier off (relax.go), for
+	// ablations. The optimum is unaffected either way.
+	DisableLPBound bool
 	// DisableOrder turns the best-first child order and the greedy restart
 	// dive off — children branch in ascending machine order like the
 	// pre-ordering solver and the first incumbent is whatever the first
@@ -177,14 +184,16 @@ type Result struct {
 // global budget, and the warm-start incumbent. The sequential search runs
 // one searcher over it; the parallel root split shares it across workers.
 type solver struct {
-	in      *core.Instance
-	rule    core.Rule
-	order   []app.TaskID
-	classOf []int
-	noSym   bool
-	noOrder bool
-	bnd     *bounder
-	bud     *budget
+	in       *core.Instance
+	rule     core.Rule
+	order    []app.TaskID
+	classOf  []int
+	noSym    bool
+	noOrder  bool
+	noAssign bool
+	noLP     bool
+	bnd      *bounder
+	bud      *budget
 
 	onImprove func(float64, *core.Mapping)
 	injector  func(inject func(float64))
@@ -241,6 +250,23 @@ type searcher struct {
 	typeW []float64
 	ded   []int
 	alloc []int
+
+	// minLand/landArg record, per order position, each unplaced task's
+	// cheapest feasible landing and the machine attaining it (-1 none),
+	// filled by lowerBound's main loop for the relaxation tiers: the
+	// bottleneck tier's collision gate and representative choice read them
+	// instead of re-pricing (relax.go). Allocated only when rx is.
+	minLand []float64
+	landArg []int
+
+	// rx holds the relaxation tiers' workspaces and gate state (relax.go).
+	// It is built lazily, on the first bound computed past the relaxWarmup
+	// node count, so easy searches never pay for it; relaxEnabled says
+	// whether it ever will be (bound on, at least one tier not ablated).
+	rx           *relaxer
+	relaxEnabled bool
+	noAssign     bool
+	noLP         bool
 
 	// shared is the cross-worker incumbent (nil in a sequential search).
 	shared *incumbent
@@ -328,6 +354,8 @@ func newSolver(in *core.Instance, opts Options) (*solver, error) {
 		classOf:    machineClasses(in),
 		noSym:      opts.DisableDominance,
 		noOrder:    opts.DisableOrder,
+		noAssign:   opts.DisableAssignBound,
+		noLP:       opts.DisableLPBound,
 		bud:        newBudget(opts),
 		onImprove:  opts.OnImprove,
 		injector:   opts.BoundInjector,
@@ -489,6 +517,10 @@ func (sv *solver) newSearcher(shared *incumbent) *searcher {
 		s.typeW = make([]float64, sv.in.P())
 		s.ded = make([]int, sv.in.P())
 		s.alloc = make([]int, sv.in.P())
+		if !(sv.noAssign && sv.noLP) {
+			s.relaxEnabled = true
+			s.noAssign, s.noLP = sv.noAssign, sv.noLP
+		}
 	}
 	return s
 }

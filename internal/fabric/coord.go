@@ -394,7 +394,10 @@ func (c *Coordinator) SubmitExactJob(ctx context.Context, spec ExactSpec) (*Exac
 	if err != nil {
 		return nil, err
 	}
-	opts := exact.Options{Rule: rule, MaxNodes: spec.MaxNodes, WarmStart: spec.WarmStart}
+	opts := exact.Options{
+		Rule: rule, MaxNodes: spec.MaxNodes, WarmStart: spec.WarmStart,
+		DisableAssignBound: spec.NoRelax, DisableLPBound: spec.NoRelax,
+	}
 	target := spec.Subtrees
 	if target <= 0 {
 		target = c.cfg.Subtrees

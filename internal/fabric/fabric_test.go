@@ -229,6 +229,30 @@ func TestExactDistributedMatchesLocal(t *testing.T) {
 			}
 		}
 	}
+
+	// Relaxation tiers off: the merged proof must still be byte-identical
+	// to the local reference (the tiers only change node spend, never the
+	// proven result).
+	_, srv := testCoord(t, CoordConfig{})
+	stop := startWorkers(t, srv.URL, 2)
+	res, err := SubmitExact(context.Background(), srv.Client(), srv.URL, ExactSpec{
+		Instance:  *file,
+		WarmStart: true,
+		Subtrees:  16,
+		NoRelax:   true,
+	})
+	stop()
+	if err != nil {
+		t.Fatalf("no-relax: %v", err)
+	}
+	if !res.Proven || res.Period != ref.Period {
+		t.Fatalf("no-relax: proven=%v period %v, want proven at %v", res.Proven, res.Period, ref.Period)
+	}
+	for i, u := range res.Assign {
+		if platform.MachineID(u) != ref.Mapping.Machine(app.TaskID(i)) {
+			t.Fatalf("no-relax: mapping diverges at task %d", i)
+		}
+	}
 }
 
 // TestWorkerDrain: a drained worker finishes and reports its current

@@ -56,6 +56,7 @@ type CampaignSpec struct {
 	MIPTimeLimitMs int64  `json:"mipTimeLimitMs,omitempty"`
 	MIPMaxNodes    int    `json:"mipMaxNodes,omitempty"`
 	ExactWorkers   int    `json:"exactWorkers,omitempty"`
+	ExactNoRelax   bool   `json:"exactNoRelax,omitempty"`
 	Polish         string `json:"polish,omitempty"`
 	PolishBudget   int    `json:"polishBudget,omitempty"`
 }
@@ -72,6 +73,7 @@ func (s CampaignSpec) Config() experiments.Config {
 		MIPTimeLimit: time.Duration(s.MIPTimeLimitMs) * time.Millisecond,
 		MIPMaxNodes:  s.MIPMaxNodes,
 		ExactWorkers: s.ExactWorkers,
+		ExactNoRelax: s.ExactNoRelax,
 		Polish:       s.Polish,
 		PolishBudget: s.PolishBudget,
 	}
@@ -93,6 +95,10 @@ type ExactSpec struct {
 	// prune only against their self-derived warm start. Results are
 	// byte-identical either way; exchange only saves nodes.
 	DisableExchange bool `json:"disableExchange,omitempty"`
+	// NoRelax disables the relaxation bound tiers (bottleneck assignment
+	// + LP) on every participant. Proven merges are byte-identical either
+	// way; the tiers only change how many nodes the proof costs.
+	NoRelax bool `json:"noRelax,omitempty"`
 }
 
 // Rules maps the spec's rule name (shared with the serve daemon's

@@ -1,6 +1,7 @@
 package hungarian
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -181,5 +182,147 @@ func TestBottleneckRejects(t *testing.T) {
 	inf := math.Inf(1)
 	if _, _, err := Bottleneck([][]float64{{inf}}); err == nil {
 		t.Fatal("all-infinite matrix accepted")
+	}
+}
+
+// flattenFor is a test helper mirroring the wrapper's flattening.
+func flattenFor(cost [][]float64) ([]float64, int, int) {
+	nr, nc := len(cost), len(cost[0])
+	flat := make([]float64, 0, nr*nc)
+	for _, row := range cost {
+		flat = append(flat, row...)
+	}
+	return flat, nr, nc
+}
+
+// TestSolverMatchesWrappers runs the reusable workspace against the one-shot
+// wrappers on random rectangular instances of varying shape, interleaving
+// Solve and Bottleneck calls so buffer reuse across shapes is exercised.
+func TestSolverMatchesWrappers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSolver()
+	for trial := 0; trial < 120; trial++ {
+		nr := 1 + rng.Intn(6)
+		nc := nr + rng.Intn(4)
+		cost := randCost(rng, nr, nc)
+		if rng.Intn(4) == 0 { // sprinkle forbidden pairs
+			cost[rng.Intn(nr)][rng.Intn(nc)] = math.Inf(1)
+		}
+		flat, fnr, fnc := flattenFor(cost)
+
+		wa, wt, werr := Solve(cost)
+		sa, st, serr := s.Solve(flat, fnr, fnc)
+		if (werr == nil) != (serr == nil) {
+			t.Fatalf("trial %d: Solve err mismatch: wrapper %v solver %v", trial, werr, serr)
+		}
+		if werr == nil {
+			if math.Abs(wt-st) > 1e-9 {
+				t.Fatalf("trial %d: Solve total wrapper %v solver %v", trial, wt, st)
+			}
+			for r := range wa {
+				if wa[r] != sa[r] {
+					t.Fatalf("trial %d: Solve assign wrapper %v solver %v", trial, wa, sa)
+				}
+			}
+		}
+
+		wa, wb, werr := Bottleneck(cost)
+		sa, sb, serr := s.Bottleneck(flat, fnr, fnc)
+		if (werr == nil) != (serr == nil) {
+			t.Fatalf("trial %d: Bottleneck err mismatch: wrapper %v solver %v", trial, werr, serr)
+		}
+		if werr == nil {
+			if math.Abs(wb-sb) > 1e-9 {
+				t.Fatalf("trial %d: Bottleneck value wrapper %v solver %v", trial, wb, sb)
+			}
+			for r := range wa {
+				if wa[r] != sa[r] {
+					t.Fatalf("trial %d: Bottleneck assign wrapper %v solver %v", trial, wa, sa)
+				}
+			}
+		}
+	}
+}
+
+func TestSolverErrNoPerfectMatching(t *testing.T) {
+	inf := math.Inf(1)
+	s := NewSolver()
+	if _, _, err := s.Solve([]float64{inf, inf, 1, 1}, 2, 2); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Fatalf("Solve isolated row: err = %v, want ErrNoPerfectMatching", err)
+	}
+	if _, _, err := s.Bottleneck([]float64{inf, inf, 1, 1}, 2, 2); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Fatalf("Bottleneck isolated row: err = %v, want ErrNoPerfectMatching", err)
+	}
+	if _, _, err := s.Bottleneck([]float64{inf}, 1, 1); !errors.Is(err, ErrNoPerfectMatching) {
+		t.Fatalf("Bottleneck all-infinite: err = %v, want ErrNoPerfectMatching", err)
+	}
+}
+
+// TestSolverZeroAlloc pins the workspace's steady-state amortized cost at
+// zero allocations per call — the property the exact solver's per-node
+// assignment bound relies on.
+func TestSolverZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nr, nc = 8, 10
+	cost := make([]float64, nr*nc)
+	for i := range cost {
+		cost[i] = math.Round(rng.Float64()*100) / 10
+	}
+	s := NewSolver()
+	// Warm both paths so the buffers are at final size.
+	if _, _, err := s.Solve(cost, nr, nc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Bottleneck(cost, nr, nc); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, _, err := s.Solve(cost, nr, nc); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Solver.Solve allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, _, err := s.Bottleneck(cost, nr, nc); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Solver.Bottleneck allocates %v per op, want 0", n)
+	}
+}
+
+func benchCost(n, m int) []float64 {
+	rng := rand.New(rand.NewSource(3))
+	cost := make([]float64, n*m)
+	for i := range cost {
+		cost[i] = rng.Float64() * 10
+	}
+	return cost
+}
+
+func BenchmarkSolverAssign(b *testing.B) {
+	const nr, nc = 12, 16
+	cost := benchCost(nr, nc)
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(cost, nr, nc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverBottleneck(b *testing.B) {
+	const nr, nc = 12, 16
+	cost := benchCost(nr, nc)
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Bottleneck(cost, nr, nc); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

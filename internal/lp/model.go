@@ -9,11 +9,18 @@
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"microfab/internal/sparse"
 )
+
+// ErrBadVar is latched by AddRow when a coefficient names a variable index
+// outside [0, NumVars); Solve and SolveWithLimit surface it. Inside
+// long-lived daemons (mfserve, mfworker) a malformed model must be a
+// reported error, not a process kill.
+var ErrBadVar = errors.New("lp: variable index out of range")
 
 // Sense is a row relation.
 type Sense int
@@ -59,6 +66,11 @@ type Model struct {
 	rows   [][]Coef
 	senses []Sense
 	rhs    []float64
+
+	// spare recycles retired []Coef backing arrays across Reset cycles so a
+	// per-node model rebuild settles at zero row allocations.
+	spare [][]Coef
+	err   error // latched by AddRow, surfaced by Solve
 }
 
 // NewModel returns a model with numVars variables, objective 0 and default
@@ -110,24 +122,75 @@ func (m *Model) Name(v int) string {
 }
 
 // AddRow appends a constraint; coefficients on the same variable are summed.
+// A coefficient naming a variable outside [0, NumVars) latches ErrBadVar on
+// the model (retrievable via Err, reported by Solve) and the row is dropped;
+// AddRow then returns -1.
 func (m *Model) AddRow(coefs []Coef, sense Sense, rhs float64) int {
-	cp := make([]Coef, 0, len(coefs))
-	seen := map[int]int{}
+	var cp []Coef
+	if n := len(m.spare); n > 0 {
+		cp = m.spare[n-1][:0]
+		m.spare = m.spare[:n-1]
+	} else {
+		cp = make([]Coef, 0, len(coefs))
+	}
 	for _, c := range coefs {
 		if c.Var < 0 || c.Var >= m.numVars {
-			panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", c.Var, m.numVars))
+			if m.err == nil {
+				m.err = fmt.Errorf("%w: %d not in [0,%d) (row %d)", ErrBadVar, c.Var, m.numVars, len(m.rows))
+			}
+			m.spare = append(m.spare, cp)
+			return -1
 		}
-		if j, ok := seen[c.Var]; ok {
-			cp[j].Val += c.Val
-			continue
+		// Rows are short (a handful to a few dozen nonzeros); a linear
+		// duplicate scan beats a per-call map allocation.
+		dup := false
+		for j := range cp {
+			if cp[j].Var == c.Var {
+				cp[j].Val += c.Val
+				dup = true
+				break
+			}
 		}
-		seen[c.Var] = len(cp)
-		cp = append(cp, c)
+		if !dup {
+			cp = append(cp, c)
+		}
 	}
 	m.rows = append(m.rows, cp)
 	m.senses = append(m.senses, sense)
 	m.rhs = append(m.rhs, rhs)
 	return len(m.rows) - 1
+}
+
+// Err returns the model error latched by AddRow, or nil.
+func (m *Model) Err() error { return m.err }
+
+// Reset re-initializes the model in place to numVars variables with
+// objective 0, default bounds [0, +Inf) and no rows, recycling the row
+// storage. Rebuilding one model per search node this way settles at zero
+// steady-state allocations.
+func (m *Model) Reset(numVars int) {
+	if cap(m.obj) < numVars {
+		m.obj = make([]float64, numVars)
+		m.lower = make([]float64, numVars)
+		m.upper = make([]float64, numVars)
+		m.names = make([]string, numVars)
+	}
+	m.numVars = numVars
+	m.obj = m.obj[:numVars]
+	m.lower = m.lower[:numVars]
+	m.upper = m.upper[:numVars]
+	m.names = m.names[:numVars]
+	for i := 0; i < numVars; i++ {
+		m.obj[i] = 0
+		m.lower[i] = 0
+		m.upper[i] = math.Inf(1)
+		m.names[i] = ""
+	}
+	m.spare = append(m.spare, m.rows...)
+	m.rows = m.rows[:0]
+	m.senses = m.senses[:0]
+	m.rhs = m.rhs[:0]
+	m.err = nil
 }
 
 // Clone returns a deep copy (bounds may then be tightened independently,
@@ -141,6 +204,7 @@ func (m *Model) Clone() *Model {
 		names:   append([]string(nil), m.names...),
 		senses:  append([]Sense(nil), m.senses...),
 		rhs:     append([]float64(nil), m.rhs...),
+		err:     m.err,
 	}
 	c.rows = make([][]Coef, len(m.rows))
 	for i, r := range m.rows {

@@ -21,8 +21,14 @@ func (m *Model) Solve() (*Solution, error) {
 	return m.SolveWithLimit(defaultIterLimit)
 }
 
-// SolveWithLimit is Solve with an explicit pivot cap.
+// SolveWithLimit is Solve with an explicit pivot cap. When the cap trips —
+// including mid-phase-1, before a feasible basis exists — the returned
+// solution carries Status IterLimit with a zero X vector, never a partial
+// tableau read-out.
 func (m *Model) SolveWithLimit(iterLimit int) (*Solution, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
 	std, err := m.standardize()
 	if err != nil {
 		// Bound-infeasible (lo > hi) models are reported as Infeasible
@@ -31,11 +37,17 @@ func (m *Model) SolveWithLimit(iterLimit int) (*Solution, error) {
 	}
 	t := newTableau(std)
 	sol := t.run(iterLimit)
+	return m.unstandardize(std, sol), nil
+}
+
+// unstandardize maps a tableau solution back to model space: x = lower + x'
+// plus fixed-variable substitutions. Non-optimal solutions get a zero X.
+func (m *Model) unstandardize(std *standard, sol *Solution) *Solution {
 	if sol.Status != Optimal {
 		sol.X = make([]float64, m.numVars)
-		return sol, nil
+		sol.Objective = 0
+		return sol
 	}
-	// Undo the standardization: x = lower + x' (+ fixed substitutions).
 	x := make([]float64, m.numVars)
 	for v := 0; v < m.numVars; v++ {
 		if std.fixed[v] {
@@ -48,7 +60,7 @@ func (m *Model) SolveWithLimit(iterLimit int) (*Solution, error) {
 	for v := 0; v < m.numVars; v++ {
 		obj += m.obj[v] * x[v]
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: sol.Iterations}, nil
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: sol.Iterations}
 }
 
 // standard holds the model in "min c x, A x {<=,=} b, 0 <= x (<= ub rows)"
@@ -158,6 +170,13 @@ type tableau struct {
 }
 
 func newTableau(s *standard) *tableau {
+	return buildTableau(s, nil)
+}
+
+// buildTableau assembles the tableau. With a non-nil Workspace the rows are
+// carved out of the workspace's flat backing buffer (grown as needed), so
+// repeated same-shape solves reuse one allocation.
+func buildTableau(s *standard, w *Workspace) *tableau {
 	nRows := len(s.rows)
 	// Columns: structural, one slack per LE row, one artificial per row
 	// that needs one (negative-RHS LE rows and EQ rows).
@@ -172,13 +191,36 @@ func newTableau(s *standard) *tableau {
 	t.artStart = s.nVars + nSlack
 	// Worst case: an artificial for every row.
 	t.nCols = t.artStart + nRows
-	t.a = make([][]float64, nRows)
-	t.basis = make([]int, nRows)
+	width := t.nCols + 1
+	if w != nil {
+		need := nRows * width
+		if cap(w.flat) < need {
+			w.flat = make([]float64, need)
+		}
+		w.flat = w.flat[:need]
+		for i := range w.flat {
+			w.flat[i] = 0
+		}
+		if cap(w.rowsBuf) < nRows {
+			w.rowsBuf = make([][]float64, nRows)
+		}
+		t.a = w.rowsBuf[:nRows]
+		w.basisBuf = growInts(w.basisBuf, nRows)
+		t.basis = w.basisBuf
+	} else {
+		t.a = make([][]float64, nRows)
+		t.basis = make([]int, nRows)
+	}
 
 	slack := 0
 	art := 0
 	for r := 0; r < nRows; r++ {
-		row := make([]float64, t.nCols+1)
+		var row []float64
+		if w != nil {
+			row = w.flat[r*width : (r+1)*width]
+		} else {
+			row = make([]float64, width)
+		}
 		for _, c := range s.rows[r] {
 			row[c.Var] += c.Val
 		}
@@ -219,9 +261,31 @@ func newTableau(s *standard) *tableau {
 		t.a[r] = append(t.a[r][:used], rhs)
 	}
 	t.nCols = used
-	t.phase2cost = make([]float64, t.nCols)
+	if w != nil {
+		w.costBuf = growFloats(w.costBuf, t.nCols)
+		t.phase2cost = w.costBuf
+		for i := range t.phase2cost {
+			t.phase2cost[i] = 0
+		}
+	} else {
+		t.phase2cost = make([]float64, t.nCols)
+	}
 	copy(t.phase2cost, s.obj)
 	return t
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // run performs phase 1 (if artificials exist) and phase 2, returning the
@@ -254,6 +318,11 @@ func (t *tableau) run(iterLimit int) *Solution {
 	if st != Optimal {
 		return &Solution{Status: st, Iterations: iters}
 	}
+	return t.extract(z, iters)
+}
+
+// extract reads the optimal basic solution out of the tableau.
+func (t *tableau) extract(z []float64, iters int) *Solution {
 	x := make([]float64, t.nStruct)
 	for r, b := range t.basis {
 		if b < t.nStruct {
@@ -374,24 +443,29 @@ func (t *tableau) pivot(r, c int, z []float64) {
 }
 
 // evictArtificials removes basic artificials after phase 1 by pivoting on
-// any non-artificial column of their row, or deleting the row when it is
-// entirely zero (redundant constraint).
+// the largest-magnitude non-artificial column of their row — the stable
+// choice under degeneracy, keeping the pivotTol discipline from amplifying
+// round-off the way a first-over-threshold pick can — or deleting the row
+// when every such entry is below pivotTol (redundant constraint). One
+// scratch cost row is shared across all evictions.
 func (t *tableau) evictArtificials() {
+	var scratch []float64
 	for r := 0; r < t.nRows; {
 		if t.basis[r] < t.artStart {
 			r++
 			continue
 		}
-		pivoted := false
+		best, bestAbs := -1, pivotTol
 		for j := 0; j < t.artStart; j++ {
-			if math.Abs(t.a[r][j]) > pivotTol {
-				dummy := make([]float64, t.nCols+1)
-				t.pivot(r, j, dummy)
-				pivoted = true
-				break
+			if a := math.Abs(t.a[r][j]); a > bestAbs {
+				best, bestAbs = j, a
 			}
 		}
-		if pivoted {
+		if best >= 0 {
+			if scratch == nil {
+				scratch = make([]float64, t.nCols+1)
+			}
+			t.pivot(r, best, scratch)
 			r++
 			continue
 		}

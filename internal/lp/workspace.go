@@ -1,0 +1,204 @@
+package lp
+
+import "math"
+
+// realizeTol is the minimum pivot magnitude accepted while re-realizing a
+// saved basis against a child model's (slightly different) matrix; stricter
+// than pivotTol because a marginal pivot here poisons every later row.
+const realizeTol = 1e-7
+
+// Workspace solves a stream of same-shaped models with basis warm starts:
+// after each Optimal solve it remembers the optimal basis, and the next
+// solve of a model with the same tableau shape first re-realizes that basis
+// against the new coefficients, then repairs it — with plain primal phase 2
+// when the basis is still feasible, or a bounded dual-simplex run when only
+// the reduced costs survived (the typical child node: a few RHS entries
+// went negative). Either way a near-miss costs a handful of pivots instead
+// of a fresh two-phase solve. Any trouble on the warm path — shape change,
+// singular basis, dual infeasibility, stall — falls back to the ordinary
+// cold solve, so results are exactly what Model.SolveWithLimit would
+// return; a basis is only ever saved from an Optimal solve, never from a
+// tripped iteration cap, so no stale tableau can seed a later solve.
+//
+// The exact solver's LP bound holds one Workspace per searcher: sibling
+// nodes at one depth share a tableau shape, so the parent/previous-sibling
+// basis is one short dual-simplex walk away. A Workspace is not safe for
+// concurrent use.
+type Workspace struct {
+	// Tableau backing storage, reused across solves.
+	flat     []float64
+	rowsBuf  [][]float64
+	basisBuf []int
+	costBuf  []float64
+	scratch  []float64
+
+	// Saved basis of the last Optimal solve, keyed by tableau shape.
+	saved                          []int
+	savedRows, savedCols, savedArt int
+	haveBasis                      bool
+
+	// Warm-start effectiveness counters (Stats).
+	solves, warmHits int
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Stats reports how many solves the workspace has run and how many were
+// completed on the warm path (basis realized and repaired without a cold
+// two-phase solve).
+func (w *Workspace) Stats() (solves, warmHits int) { return w.solves, w.warmHits }
+
+// Reset drops the saved basis (the counters and buffers are kept).
+func (w *Workspace) Reset() { w.haveBasis = false }
+
+// Solve optimizes the model with the default pivot cap, warm-starting from
+// the previous Optimal basis when the tableau shape matches.
+func (w *Workspace) Solve(m *Model) (*Solution, error) {
+	return w.SolveWithLimit(m, defaultIterLimit)
+}
+
+// SolveWithLimit is Solve with an explicit pivot cap shared by the warm
+// attempt and any cold fallback. The returned solution matches what
+// Model.SolveWithLimit would produce (the warm path only changes which
+// optimal basis is reached, within the solver's tolerances).
+func (w *Workspace) SolveWithLimit(m *Model, iterLimit int) (*Solution, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	w.solves++
+	std, err := m.standardize()
+	if err != nil {
+		return &Solution{Status: Infeasible, X: make([]float64, m.numVars)}, nil
+	}
+	t := buildTableau(std, w)
+	spent := 0
+	if w.haveBasis && w.savedRows == t.nRows && w.savedCols == t.nCols && w.savedArt == t.artStart {
+		sol, used, ok := w.warmRun(t, iterLimit)
+		spent = used
+		if ok {
+			w.warmHits++
+			w.note(t, sol)
+			return m.unstandardize(std, sol), nil
+		}
+		// The warm attempt pivoted the tableau; rebuild before cold-solving.
+		t = buildTableau(std, w)
+	}
+	sol := t.run(max(iterLimit-spent, 0))
+	sol.Iterations += spent
+	w.note(t, sol)
+	return m.unstandardize(std, sol), nil
+}
+
+// note records the outcome: Optimal saves the basis for the next solve,
+// anything else invalidates it (admissibility over speed — a cap-tripped or
+// infeasible tableau must never seed a warm start).
+func (w *Workspace) note(t *tableau, sol *Solution) {
+	if sol.Status != Optimal {
+		w.haveBasis = false
+		return
+	}
+	w.saved = append(w.saved[:0], t.basis...)
+	w.savedRows, w.savedCols, w.savedArt = t.nRows, t.nCols, t.artStart
+	w.haveBasis = true
+}
+
+// warmRun tries to finish the solve from the saved basis. It returns the
+// solution, the pivots spent, and whether the warm path completed; on false
+// the tableau has been mutated and the caller must rebuild it.
+func (w *Workspace) warmRun(t *tableau, iterLimit int) (*Solution, int, bool) {
+	// An artificial in the saved basis (possible only for degenerate
+	// equality systems) is not worth repairing here.
+	for _, b := range w.saved {
+		if b >= t.artStart {
+			return nil, 0, false
+		}
+	}
+	if len(w.scratch) < t.nCols+1 {
+		w.scratch = make([]float64, t.nCols+1)
+	}
+	// Realize the saved basis against the new coefficients by Gaussian
+	// pivoting, choosing for each basic column the largest remaining pivot
+	// (rows may permute; the basis is a set). A pivot below realizeTol
+	// means the saved basis is singular for this matrix: cold-solve.
+	iters := 0
+	for i, b := range w.saved {
+		best, bestAbs := -1, realizeTol
+		for r := i; r < t.nRows; r++ {
+			if a := math.Abs(t.a[r][b]); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if best < 0 {
+			return nil, iters, false
+		}
+		t.a[i], t.a[best] = t.a[best], t.a[i]
+		t.basis[i], t.basis[best] = t.basis[best], t.basis[i]
+		t.pivot(i, b, w.scratch)
+		iters++
+		if iters >= iterLimit {
+			return nil, iters, false
+		}
+	}
+	z := t.priceOut(t.phase2cost)
+
+	primalFeasible := true
+	for r := 0; r < t.nRows; r++ {
+		if t.a[r][t.nCols] < -feasTol {
+			primalFeasible = false
+			break
+		}
+	}
+	if !primalFeasible {
+		// Dual simplex: valid only while the reduced costs stay
+		// nonnegative. If realization broke dual feasibility the saved
+		// basis bought nothing — cold-solve.
+		for j := 0; j < t.artStart; j++ {
+			if z[j] < -costTol {
+				return nil, iters, false
+			}
+		}
+		maxDual := 2*t.nRows + 50
+		for dual := 0; ; dual++ {
+			if dual >= maxDual || iters >= iterLimit {
+				return nil, iters, false
+			}
+			leave, most := -1, -feasTol
+			for r := 0; r < t.nRows; r++ {
+				if rhs := t.a[r][t.nCols]; rhs < most {
+					most, leave = rhs, r
+				}
+			}
+			if leave < 0 {
+				break // primal feasibility restored
+			}
+			enter, bestRatio := -1, math.Inf(1)
+			row := t.a[leave]
+			for j := 0; j < t.artStart; j++ {
+				arj := row[j]
+				if arj >= -pivotTol {
+					continue
+				}
+				ratio := z[j] / -arj
+				if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (enter < 0 || j < enter)) {
+					bestRatio, enter = ratio, j
+				}
+			}
+			if enter < 0 {
+				// Dual unbounded (primal infeasible) — let the cold
+				// two-phase solve confirm rather than trusting a
+				// realized-from-guess basis with a verdict.
+				return nil, iters, false
+			}
+			t.pivot(leave, enter, z)
+			iters++
+		}
+	}
+	// Primal clean-up from the (now feasible) basis; usually 0-2 pivots.
+	st, n := t.iterate(z, t.phase2cost, max(iterLimit-iters, 0), false)
+	iters += n
+	if st != Optimal {
+		return nil, iters, false
+	}
+	return t.extract(z, iters), iters, true
+}

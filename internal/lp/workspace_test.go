@@ -1,0 +1,194 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// boundLikeModel builds the shape the exact solver's LP bound emits: min T
+// with per-task convexity rows (EQ), per-machine load rows (LE with -T),
+// and optional capacity rows — coefficients and RHS jittered by rng so a
+// stream of these models mimics sibling search nodes.
+func boundLikeModel(rng *rand.Rand, n, m int, caps bool) *Model {
+	md := NewModel(1 + n*m)
+	md.SetObj(0, 1)
+	yv := func(i, u int) int { return 1 + i*m + u }
+	for i := 0; i < n; i++ {
+		row := make([]Coef, 0, m)
+		for u := 0; u < m; u++ {
+			row = append(row, Coef{Var: yv(i, u), Val: 1})
+		}
+		md.AddRow(row, EQ, 1)
+	}
+	for u := 0; u < m; u++ {
+		row := make([]Coef, 0, n+1)
+		row = append(row, Coef{Var: 0, Val: -1})
+		for i := 0; i < n; i++ {
+			row = append(row, Coef{Var: yv(i, u), Val: 0.2 + rng.Float64()})
+		}
+		md.AddRow(row, LE, -rng.Float64()*2)
+	}
+	if caps {
+		for u := 0; u < m; u++ {
+			row := make([]Coef, 0, n)
+			for i := 0; i < n; i++ {
+				row = append(row, Coef{Var: yv(i, u), Val: 1})
+			}
+			md.AddRow(row, LE, 1+float64(rng.Intn(2)))
+		}
+	}
+	return md
+}
+
+// TestWorkspaceMatchesColdSolve streams perturbed same-shape models through
+// one Workspace and checks every solve against Model.Solve: same status,
+// same objective. This is the correctness contract the exact solver's LP
+// bound leans on — a warm start may land on a different optimal basis, but
+// never a different optimum.
+func TestWorkspaceMatchesColdSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	w := NewWorkspace()
+	for _, caps := range []bool{false, true} {
+		w.Reset()
+		for trial := 0; trial < 80; trial++ {
+			md := boundLikeModel(rng, 4, 3, caps)
+			warm, err := w.Solve(md)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := md.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Status != cold.Status {
+				t.Fatalf("caps=%v trial %d: warm %v cold %v", caps, trial, warm.Status, cold.Status)
+			}
+			if cold.Status == Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-7*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("caps=%v trial %d: warm obj %v cold obj %v", caps, trial, warm.Objective, cold.Objective)
+			}
+		}
+	}
+	solves, hits := w.Stats()
+	if solves == 0 || hits == 0 {
+		t.Fatalf("warm path never exercised: %d solves, %d hits", solves, hits)
+	}
+}
+
+// TestWorkspaceWarmHitRate pins that sibling-like model streams (identical
+// shape, small RHS/cost drift) actually ride the warm path most of the
+// time; a silent fall-through to cold solves would make the LP bound pay a
+// full two-phase solve per node.
+func TestWorkspaceWarmHitRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewWorkspace()
+	base := boundLikeModel(rng, 5, 3, false)
+	if sol, err := w.Solve(base); err != nil || sol.Status != Optimal {
+		t.Fatalf("seed solve: %v %v", sol, err)
+	}
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		md := base.Clone()
+		for u := 0; u < 3; u++ {
+			// Drift the machine rows' RHS: the child node placed a task, so
+			// loads grew a little.
+			md.rhs[5+u] -= rng.Float64() * 0.3
+		}
+		sol, err := w.Solve(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+	}
+	solves, hits := w.Stats()
+	if hits*2 < trials {
+		t.Fatalf("warm hits %d / %d solves: warm path not earning its keep", hits, solves)
+	}
+}
+
+// TestWorkspaceShapeChangeFallsBack checks that a shape change between
+// solves silently cold-starts instead of misapplying the saved basis.
+func TestWorkspaceShapeChangeFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := NewWorkspace()
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(3)
+		md := boundLikeModel(rng, n, m, trial%2 == 0)
+		warm, err := w.Solve(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := md.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status ||
+			(cold.Status == Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-7*(1+math.Abs(cold.Objective))) {
+			t.Fatalf("trial %d (n=%d m=%d): warm %v/%v cold %v/%v",
+				trial, n, m, warm.Status, warm.Objective, cold.Status, cold.Objective)
+		}
+	}
+}
+
+// TestWorkspaceIterLimitNeverSeedsBasis: a cap tripped mid-phase-1 must
+// come back as IterLimit with a zero X, and must not leave a basis behind
+// that a later solve warm-starts from.
+func TestWorkspaceIterLimitNeverSeedsBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	w := NewWorkspace()
+	md := boundLikeModel(rng, 5, 3, true)
+	sol, err := w.SolveWithLimit(md, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Skipf("solved within one pivot (status %v); nothing to assert", sol.Status)
+	}
+	for _, x := range sol.X {
+		if x != 0 {
+			t.Fatalf("IterLimit leaked a partial tableau: X=%v", sol.X)
+		}
+	}
+	if sol.Objective != 0 {
+		t.Fatalf("IterLimit objective = %v, want 0", sol.Objective)
+	}
+	if w.haveBasis {
+		t.Fatal("cap-tripped solve saved a basis")
+	}
+	// The very next solve must be a clean cold solve with the full limit.
+	full, err := w.Solve(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := md.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != cold.Status || math.Abs(full.Objective-cold.Objective) > 1e-9 {
+		t.Fatalf("post-cap solve diverged: %v/%v vs %v/%v", full.Status, full.Objective, cold.Status, cold.Objective)
+	}
+}
+
+// TestWorkspaceInfeasibleAndBoundErrors covers the degenerate entries: an
+// infeasible model, and a bound-infeasible (lo > hi) model, through the
+// workspace path.
+func TestWorkspaceInfeasibleAndBoundErrors(t *testing.T) {
+	w := NewWorkspace()
+	m := NewModel(1)
+	m.SetObj(0, 1)
+	m.AddRow([]Coef{{0, 1}}, GE, 5)
+	m.AddRow([]Coef{{0, 1}}, LE, 1)
+	sol, err := w.Solve(m)
+	if err != nil || sol.Status != Infeasible {
+		t.Fatalf("infeasible: %v %v", sol, err)
+	}
+	b := NewModel(1)
+	b.SetBounds(0, 3, 1)
+	sol, err = w.Solve(b)
+	if err != nil || sol.Status != Infeasible {
+		t.Fatalf("bound-infeasible: %v %v", sol, err)
+	}
+}
