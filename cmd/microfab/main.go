@@ -62,6 +62,7 @@ func main() {
 		warm    = flag.Bool("warm", true, "with -solver exact: seed the incumbent with the H4w heuristic")
 		noAB    = flag.Bool("no-assign-bound", false, "with -solver exact: disable the bottleneck-assignment bound tier (ablation; the optimum is unaffected)")
 		noLPB   = flag.Bool("no-lp-bound", false, "with -solver exact: disable the LP relaxation bound tier (ablation; the optimum is unaffected)")
+		noIncB  = flag.Bool("no-inc-bound", false, "with -solver exact: recompute the per-node bound from scratch instead of the delta-maintained cache (ablation; results are byte-identical)")
 	)
 	flag.Parse()
 	if *solver != "" && *method != "" && *solver != *method {
@@ -86,7 +87,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*inPath, name, *rule, *seed, *outPath, *xout, *polish, *pBudget, *workers, *warm, *noAB, *noLPB); err != nil {
+	if err := run(*inPath, name, *rule, *seed, *outPath, *xout, *polish, *pBudget, *workers, *warm, *noAB, *noLPB, *noIncB); err != nil {
 		fmt.Fprintln(os.Stderr, "microfab:", err)
 		os.Exit(1)
 	}
@@ -104,7 +105,7 @@ func runFigure(fig, draws, thin, workers int, seed int64, polish string, polishB
 	return nil
 }
 
-func run(inPath, method, ruleName string, seed int64, outPath string, xout float64, polish string, polishBudget int, workers int, warm, noAssignBound, noLPBound bool) error {
+func run(inPath, method, ruleName string, seed int64, outPath string, xout float64, polish string, polishBudget int, workers int, warm, noAssignBound, noLPBound, noIncBound bool) error {
 	in, err := instance.Load(inPath)
 	if err != nil {
 		return err
@@ -134,12 +135,13 @@ func run(inPath, method, ruleName string, seed int64, outPath string, xout float
 		}
 		var err error
 		exactRes, err = microfab.SolveExact(in, microfab.ExactOptions{
-			Rule:               rule,
-			TimeLimit:          30 * time.Second,
-			Workers:            w,
-			WarmStart:          warm,
-			DisableAssignBound: noAssignBound,
-			DisableLPBound:     noLPBound,
+			Rule:                    rule,
+			TimeLimit:               30 * time.Second,
+			Workers:                 w,
+			WarmStart:               warm,
+			DisableAssignBound:      noAssignBound,
+			DisableLPBound:          noLPBound,
+			DisableIncrementalBound: noIncBound,
 		})
 		if err != nil {
 			return err

@@ -44,15 +44,28 @@ type bounder struct {
 	minCost []float64
 	// pos[i] is task i's position in the search order.
 	pos []int
+	// succPos[k] is the order position of order[k]'s successor (-1 at a
+	// root). Reverse-topological order puts every successor earlier, so
+	// succPos[k] < k — the property the incremental demand sweep leans on.
+	succPos []int
+	// minInflAt/minCostAt/typeAt re-index minInfl, minCost and the task
+	// type by order position: the incremental sweeps are position-indexed,
+	// and skipping the order[] indirection matters on their hot path.
+	minInflAt []float64
+	minCostAt []float64
+	typeAt    []app.TypeID
 }
 
 func newBounder(in *core.Instance, order []app.TaskID) *bounder {
 	n, m := in.N(), in.M()
-	b := &bounder{
-		minInfl: make([]float64, n),
-		minCost: make([]float64, n),
-		pos:     make([]int, n),
-	}
+	b := &bounder{typeAt: make([]app.TypeID, n)}
+	floats := make([]float64, 4*n)
+	b.minInfl, floats = floats[:n:n], floats[n:]
+	b.minCost, floats = floats[:n:n], floats[n:]
+	b.minInflAt, floats = floats[:n:n], floats[n:]
+	b.minCostAt = floats
+	ints := make([]int, 2*n)
+	b.pos, b.succPos = ints[:n:n], ints[n:]
 	for i := 0; i < n; i++ {
 		id := app.TaskID(i)
 		bestInfl, bestCost := math.Inf(1), math.Inf(1)
@@ -71,6 +84,16 @@ func newBounder(in *core.Instance, order []app.TaskID) *bounder {
 	}
 	for k, i := range order {
 		b.pos[i] = k
+	}
+	for k, i := range order {
+		if succ := in.App.Successor(i); succ == app.NoTask {
+			b.succPos[k] = -1
+		} else {
+			b.succPos[k] = b.pos[succ]
+		}
+		b.minInflAt[k] = b.minInfl[i]
+		b.minCostAt[k] = b.minCost[i]
+		b.typeAt[k] = in.App.Type(i)
 	}
 	return b
 }
@@ -103,10 +126,14 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 	if s.relaxEnabled && s.rx == nil && s.meter.used >= relaxWarmup {
 		// The search outgrew the relaxWarmup node count: build the
 		// relaxation tiers (relax.go). Easy searches never get here, so
-		// they never pay for the workspaces.
+		// they never pay for the workspaces. The incremental mode owns
+		// minLand/landArg from the start; only the from-scratch ablation
+		// allocates them here, on first need.
 		s.rx = newRelaxer(s.in, s.noAssign, s.noLP)
-		s.minLand = make([]float64, n)
-		s.landArg = make([]int, n)
+		if s.minLand == nil {
+			s.minLand = make([]float64, n)
+			s.landArg = make([]int, n)
+		}
 	}
 	b := s.bnd
 	spec := s.rule == core.Specialized
@@ -136,48 +163,85 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 	// that is feasible *now* (completions only ever shrink the feasible
 	// set: dedications and one-to-one uses are never undone), so the
 	// cheapest landing — current load included — bounds the final period.
+	//
+	// In the default incremental mode the per-position ingredients (dlb,
+	// minLand, landArg) are already maintained under every assign/unassign
+	// (ibAssign/ibUnassign below), bit-identical to what the from-scratch
+	// branch would recompute; the walk only re-prices positions whose
+	// cached landing went stale, in fused PriceAllMulti batches of up to
+	// ibWindow, and accumulates the same sums in the same order — so both
+	// branches cross the early-exit thresholds at exactly the same j and
+	// the search trees are node-for-node identical.
 	maxTask := 0.0
-	track := s.rx != nil
-	for j := k; j < n; j++ {
-		i := s.order[j]
-		var d float64
-		if succ := s.in.App.Successor(i); succ == app.NoTask {
-			d = 1
-		} else if sp := b.pos[succ]; sp < k {
-			d = s.pr.X(succ)
-		} else {
-			d = s.dlb[sp] * b.minInfl[succ]
+	if s.inc {
+		if s.ibNPend > 0 {
+			s.ibApply()
 		}
-		s.dlb[j] = d
-		c := d * b.minCost[i]
-		total += c
-		ty := s.in.App.Type(i)
-		if spec {
-			s.typeW[ty] += c
-		}
-		land := math.Inf(1)
-		landAt := -1
-		s.pr.PriceAllAt(i, d, s.land)
-		for u := 0; u < s.m; u++ {
-			if !s.feasible(u, ty) {
-				continue
+		dlb, minLand := s.dlb, s.minLand
+		minCostAt, typeAt := b.minCostAt, b.typeAt
+		scan := k
+		for j := k; j < n; j++ {
+			if j >= scan {
+				scan = s.ibRefresh(j, n)
 			}
-			if at := s.land[u]; at < land {
-				land, landAt = at, u
+			c := dlb[j] * minCostAt[j]
+			total += c
+			if spec {
+				s.typeW[typeAt[j]] += c
+			}
+			if land := minLand[j]; land > maxTask {
+				maxTask = land
+				if maxTask >= localBest || maxTask > sharedP {
+					// Already enough to prune; the remaining ingredients
+					// could only raise the bound further. Positions past
+					// the last refresh window stay stale — and unread.
+					return maxTask
+				}
 			}
 		}
-		if track {
-			// The relaxation tiers' collision gate and representative choice
-			// read these (relax.go) instead of re-pricing.
-			s.minLand[j] = land
-			s.landArg[j] = landAt
-		}
-		if land > maxTask {
-			maxTask = land
-			if maxTask >= localBest || maxTask > sharedP {
-				// Already enough to prune; the remaining ingredients could
-				// only raise the bound further.
-				return maxTask
+	} else {
+		track := s.rx != nil
+		for j := k; j < n; j++ {
+			i := s.order[j]
+			var d float64
+			if succ := s.in.App.Successor(i); succ == app.NoTask {
+				d = 1
+			} else if sp := b.pos[succ]; sp < k {
+				d = s.pr.X(succ)
+			} else {
+				d = s.dlb[sp] * b.minInfl[succ]
+			}
+			s.dlb[j] = d
+			c := d * b.minCost[i]
+			total += c
+			ty := s.in.App.Type(i)
+			if spec {
+				s.typeW[ty] += c
+			}
+			land := math.Inf(1)
+			landAt := -1
+			s.pr.PriceAllAt(i, d, s.land)
+			for u := 0; u < s.m; u++ {
+				if !s.feasible(u, ty) {
+					continue
+				}
+				if at := s.land[u]; at < land {
+					land, landAt = at, u
+				}
+			}
+			if track {
+				// The relaxation tiers' collision gate and representative
+				// choice read these (relax.go) instead of re-pricing.
+				s.minLand[j] = land
+				s.landArg[j] = landAt
+			}
+			if land > maxTask {
+				maxTask = land
+				if maxTask >= localBest || maxTask > sharedP {
+					// Already enough to prune; the remaining ingredients could
+					// only raise the bound further.
+					return maxTask
+				}
 			}
 		}
 	}
@@ -209,6 +273,282 @@ func (s *searcher) lowerBound(k int, localBest, sharedP float64) float64 {
 		lb = s.strengthen(k, lb, localBest, sharedP)
 	}
 	return lb
+}
+
+// --- incremental bound state ---------------------------------------------
+//
+// One DFS assign perturbs the bound's per-position ingredients in exactly
+// two narrow ways: the demand lower bounds change only along the assigned
+// task's feeder chains (dlb propagates successor-to-feeder in the
+// reverse-topological order), and one machine's load grows — monotonically
+// — so a cached cheapest landing can only be invalidated when its argmin
+// machine is the touched one (any other machine's price is unchanged, and
+// the touched machine's price only grew, so a minimum attained elsewhere
+// stays a minimum, first-of-equals tie-break included) or when the
+// position's own demand changed. ibAssign records exactly those
+// invalidations; the re-pricing itself is deferred to the next lowerBound
+// walk (ibRefresh), which prices stale positions through the fused
+// PriceAllMulti kernel and — like the from-scratch loop — stops paying at
+// an early exit. Every mutation is logged with the overwritten values, so
+// ibUnassign restores the state bit-exactly in LIFO order, the same
+// discipline the Pricer applies to its loads.
+
+// ibEntry is one change-log record: the position touched and the exact
+// prior (dlb, minLand, landArg, stale) tuple to restore on unassign.
+type ibEntry struct {
+	j       int32
+	landArg int32
+	stale   bool
+	dlb     float64
+	minLand float64
+}
+
+// ibWindow is the refresh batch width: lowerBound's incremental walk
+// re-prices stale positions in fused batches of up to this many, so an
+// early exit over-prices at most ibWindow-1 positions beyond the exit
+// point while long fills still amortize the kernel call.
+const ibWindow = 8
+
+// incBoundMinM is the machine-count floor of the auto gate: re-pricing a
+// landing costs O(m), the bookkeeping a cache hit saves it with does not,
+// so below this width recomputing from scratch is simply cheaper
+// (measured crossover on in-tree instances: break-even near m=12, the
+// incremental engine ahead from m=16).
+const incBoundMinM = 12
+
+// incBoundForce bypasses the auto gate (not the explicit ablation flag) so
+// the differential tests exercise the incremental engine on instances the
+// gate would route to the from-scratch path.
+var incBoundForce = false
+
+// incBoundAuto reports whether the delta-maintained bound state is expected
+// to pay for itself on this instance. One DFS assign dirties the demand
+// lower bounds of exactly the assigned task's feeder subtree, so the
+// average subtree size is the engine's per-node delta cost — and on dense
+// feeder forests (a chain is the worst case: every assign dirties the whole
+// suffix) delta maintenance degenerates into the from-scratch sweep plus
+// logging. The gate enables the engine when the average dirtied fraction is
+// at most a third of the instance and machines are wide enough that the
+// saved re-pricing outweighs the bookkeeping. Both modes compute
+// bit-identical bounds, so the choice never changes a search result — only
+// how fast it is reached.
+func incBoundAuto(in *core.Instance, order []app.TaskID) bool {
+	if in.M() < incBoundMinM {
+		return false
+	}
+	n := len(order)
+	sz := make([]int, n)
+	for i := range sz {
+		sz[i] = 1
+	}
+	total := 0
+	// order is reverse topological (successors first), so walking it
+	// backwards visits every feeder before its successor: sz accumulates
+	// complete feeder-subtree sizes bottom-up.
+	for k := n - 1; k >= 0; k-- {
+		i := order[k]
+		total += sz[i]
+		if succ := in.App.Successor(i); succ != app.NoTask {
+			sz[succ] += sz[i]
+		}
+	}
+	return 3*total <= n*n
+}
+
+// initIncBound seeds the cached ingredients for the empty assignment: the
+// demand lower bounds are filled eagerly (O(n) arithmetic, no pricing) and
+// every landing starts stale, so the first lowerBound walk prices them on
+// demand — and an early exit there skips the tail exactly like every later
+// node does. No searcher ever pays for landings its bounds never read.
+func (s *searcher) initIncBound() {
+	b := s.bnd
+	n := len(s.order)
+	for j := 0; j < n; j++ {
+		if sp := b.succPos[j]; sp < 0 {
+			s.dlb[j] = 1
+		} else {
+			s.dlb[j] = s.dlb[sp] * b.minInflAt[sp]
+		}
+		s.landArg[j] = -1
+		s.ibStale[j] = true
+	}
+}
+
+// ibAssign records that order[k] landed on machine u. The delta sweep
+// itself is deferred until a bound walk needs the cached state (ibApply):
+// a leaf assign, or one whose child bound exits on the current maximum
+// alone, then costs O(1) instead of O(n-k) — and in a DFS tree the deepest
+// levels are most of the nodes.
+func (s *searcher) ibAssign(k, u int) {
+	s.ibPendK[s.ibNPend] = k
+	s.ibPendU[s.ibNPend] = u
+	s.ibNPend++
+}
+
+// ibApply drains the deferred assigns in frame order, bringing dlb and the
+// staleness marks up to date with the pricer. Called by lowerBound before
+// its incremental walk reads any cached ingredient.
+func (s *searcher) ibApply() {
+	for p := 0; p < s.ibNPend; p++ {
+		s.ibApplyOne(s.ibPendK[p], s.ibPendU[p])
+	}
+	s.ibNPend = 0
+}
+
+// ibApplyOne is the delta sweep for one recorded assign (pricer and rule
+// bookkeeping already updated): one ascending pass over the unplaced
+// positions updates every dlb the assign changed and marks the positions
+// whose cached landing can no longer be trusted. No pricing work at all —
+// that is deferred further, to ibRefresh.
+func (s *searcher) ibApplyOne(k, u int) {
+	s.ibMark[k] = len(s.ibLog)
+	s.ibGen++
+	gen := s.ibGen
+	s.ibPrevGen[k] = s.ibOpenGen
+	s.ibOpenGen = gen
+	b := s.bnd
+	n := len(s.order)
+	xi := s.pr.X(s.order[k])
+	dlb, minLand, landArg := s.dlb, s.minLand, s.landArg
+	stale, stamp, logStamp := s.ibStale, s.ibStamp, s.ibLogStamp
+	succPos, minInflAt := b.succPos, b.minInflAt
+	for j := k + 1; j < n; j++ {
+		nd := dlb[j]
+		if sp := succPos[j]; sp == k {
+			// The successor was just placed: the optimistic product
+			// becomes the exact x.
+			nd = xi
+		} else if sp > k && stamp[sp] == gen {
+			// The successor's own dlb changed earlier in this sweep
+			// (ascending j visits sp < j first); recompute from it.
+			nd = dlb[sp] * minInflAt[sp]
+		}
+		if nd != dlb[j] {
+			s.ibLog = append(s.ibLog, ibEntry{j: int32(j), landArg: int32(landArg[j]),
+				stale: stale[j], dlb: dlb[j], minLand: minLand[j]})
+			logStamp[j] = gen
+			dlb[j] = nd
+			stamp[j] = gen
+			stale[j] = true
+			continue
+		}
+		// Demand bit-unchanged: propagation legitimately stops here (any
+		// downstream recomputation would reproduce the cached bits), and
+		// the landing survives unless its argmin is the touched machine.
+		// A stale position's cached argmin may be outdated, but stale
+		// already means "re-price before trusting" — nothing to add.
+		if !stale[j] && landArg[j] == u {
+			s.ibLog = append(s.ibLog, ibEntry{j: int32(j), landArg: int32(landArg[j]),
+				stale: false, dlb: dlb[j], minLand: minLand[j]})
+			logStamp[j] = gen
+			stale[j] = true
+		}
+	}
+}
+
+// ibUnassign reverts ibAssign(k, ·). If that assign is still pending (no
+// bound walk needed the cache while the frame was open — a leaf, or a child
+// pruned on its current maximum alone), reverting is dropping the record.
+// Otherwise it pops the change log back to the watermark ibApplyOne set,
+// restoring every touched tuple to its exact prior bits (reverse order: a
+// position logged twice — assign dirty, then lazy refresh — ends on its
+// assign-time value).
+func (s *searcher) ibUnassign(k int) {
+	if s.ibNPend > 0 && s.ibPendK[s.ibNPend-1] == k {
+		s.ibNPend--
+		return
+	}
+	mark := s.ibMark[k]
+	dlb, minLand, landArg, stale := s.dlb, s.minLand, s.landArg, s.ibStale
+	for e := len(s.ibLog) - 1; e >= mark; e-- {
+		en := &s.ibLog[e]
+		dlb[en.j] = en.dlb
+		minLand[en.j] = en.minLand
+		landArg[en.j] = int(en.landArg)
+		stale[en.j] = en.stale
+	}
+	s.ibLog = s.ibLog[:mark]
+	s.ibOpenGen = s.ibPrevGen[k]
+}
+
+// ibRefresh re-prices the stale positions in the window [from, from+ibWindow)
+// (clamped to n) and returns the window end: every position below it is
+// trusted afterwards. Refreshes run inside lowerBound, after the node's
+// ibAssign, so the log entries they append belong to the innermost open
+// frame and are restored by its ibUnassign.
+func (s *searcher) ibRefresh(from, n int) int {
+	hi := from + ibWindow
+	if hi > n {
+		hi = n
+	}
+	stale := s.ibStale
+	cnt := 0
+	for j := from; j < hi; j++ {
+		if stale[j] {
+			s.ibPos[cnt] = j
+			cnt++
+		}
+	}
+	switch cnt {
+	case 0:
+	case 1:
+		// One stale landing: the fused kernel would price a batch of one;
+		// PriceAllAt computes the same row bits without the batch setup.
+		j := s.ibPos[0]
+		s.pr.PriceAllAt(s.order[j], s.dlb[j], s.land)
+		s.ibStore(j, s.land)
+	default:
+		s.ibRescan(s.ibPos[:cnt])
+	}
+	return hi
+}
+
+// ibRescan recomputes the cached cheapest landing of the given order
+// positions from the current loads and feasibility in one fused
+// PriceAllMulti pass.
+func (s *searcher) ibRescan(pos []int) {
+	tasks := s.ibTasks[:len(pos)]
+	dem := s.ibDem[:len(pos)]
+	dlb, order := s.dlb, s.order
+	for t, j := range pos {
+		tasks[t] = order[j]
+		dem[t] = dlb[j]
+	}
+	out := s.ibOut[:len(pos)*s.m]
+	s.pr.PriceAllMulti(tasks, dem, out)
+	for t, j := range pos {
+		s.ibStore(j, out[t*s.m:(t+1)*s.m])
+	}
+}
+
+// ibStore logs (once per open frame) and installs position j's re-priced
+// landing row: the same ascending strict-< feasible argmin scan as the
+// from-scratch loop — bit-equal cells, so the first-of-equals tie-break
+// lands on the same machine.
+func (s *searcher) ibStore(j int, row []float64) {
+	if s.ibOpenGen != 0 && s.ibLogStamp[j] != s.ibOpenGen {
+		// Not yet logged in the innermost open frame (gen 0 means none is
+		// open — a root pass needs no restore): save the pre-frame tuple.
+		// A position the frame's ibAssign already logged restores through
+		// that entry instead.
+		s.ibLog = append(s.ibLog, ibEntry{j: int32(j), landArg: int32(s.landArg[j]),
+			stale: true, dlb: s.dlb[j], minLand: s.minLand[j]})
+		s.ibLogStamp[j] = s.ibOpenGen
+	}
+	ty := s.bnd.typeAt[j]
+	land := math.Inf(1)
+	landAt := -1
+	for u := 0; u < s.m; u++ {
+		if !s.feasible(u, ty) {
+			continue
+		}
+		if at := row[u]; at < land {
+			land, landAt = at, u
+		}
+	}
+	s.minLand[j] = land
+	s.landArg[j] = landAt
+	s.ibStale[j] = false
 }
 
 // waterfill returns min over integer machine allocations

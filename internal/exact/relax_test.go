@@ -32,8 +32,13 @@ func relaxAt(t testing.TB, in *core.Instance, rule core.Rule, prefix []platform.
 	}
 	s := sv.newSearcher(nil)
 	s.rx = newRelaxer(sv.in, false, false)
-	s.minLand = make([]float64, len(s.order))
-	s.landArg = make([]int, len(s.order))
+	if s.minLand == nil {
+		// From-scratch ablation only: the incremental mode allocates and
+		// maintains these from construction, and overwriting them here
+		// would clobber the live cache.
+		s.minLand = make([]float64, len(s.order))
+		s.landArg = make([]int, len(s.order))
+	}
 	s.push(prefix)
 	return s, s.lowerBound(len(prefix), math.Inf(1), math.Inf(1))
 }

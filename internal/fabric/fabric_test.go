@@ -253,6 +253,30 @@ func TestExactDistributedMatchesLocal(t *testing.T) {
 			t.Fatalf("no-relax: mapping diverges at task %d", i)
 		}
 	}
+
+	// Incremental bound off: every participant recomputes the bound from
+	// scratch, and the merged proof is still byte-identical to the local
+	// reference (the two bound paths are bit-equal by construction).
+	_, srv2 := testCoord(t, CoordConfig{})
+	stop2 := startWorkers(t, srv2.URL, 2)
+	res2, err := SubmitExact(context.Background(), srv2.Client(), srv2.URL, ExactSpec{
+		Instance:   *file,
+		WarmStart:  true,
+		Subtrees:   16,
+		NoIncBound: true,
+	})
+	stop2()
+	if err != nil {
+		t.Fatalf("no-inc-bound: %v", err)
+	}
+	if !res2.Proven || res2.Period != ref.Period {
+		t.Fatalf("no-inc-bound: proven=%v period %v, want proven at %v", res2.Proven, res2.Period, ref.Period)
+	}
+	for i, u := range res2.Assign {
+		if platform.MachineID(u) != ref.Mapping.Machine(app.TaskID(i)) {
+			t.Fatalf("no-inc-bound: mapping diverges at task %d", i)
+		}
+	}
 }
 
 // TestWorkerDrain: a drained worker finishes and reports its current

@@ -57,6 +57,7 @@ type CampaignSpec struct {
 	MIPMaxNodes    int    `json:"mipMaxNodes,omitempty"`
 	ExactWorkers   int    `json:"exactWorkers,omitempty"`
 	ExactNoRelax   bool   `json:"exactNoRelax,omitempty"`
+	ExactNoIncB    bool   `json:"exactNoIncBound,omitempty"`
 	Polish         string `json:"polish,omitempty"`
 	PolishBudget   int    `json:"polishBudget,omitempty"`
 }
@@ -67,15 +68,16 @@ type CampaignSpec struct {
 // its own local parallelism without touching the result.
 func (s CampaignSpec) Config() experiments.Config {
 	return experiments.Config{
-		Draws:        s.Draws,
-		Seed:         s.Seed,
-		Thin:         s.Thin,
-		MIPTimeLimit: time.Duration(s.MIPTimeLimitMs) * time.Millisecond,
-		MIPMaxNodes:  s.MIPMaxNodes,
-		ExactWorkers: s.ExactWorkers,
-		ExactNoRelax: s.ExactNoRelax,
-		Polish:       s.Polish,
-		PolishBudget: s.PolishBudget,
+		Draws:           s.Draws,
+		Seed:            s.Seed,
+		Thin:            s.Thin,
+		MIPTimeLimit:    time.Duration(s.MIPTimeLimitMs) * time.Millisecond,
+		MIPMaxNodes:     s.MIPMaxNodes,
+		ExactWorkers:    s.ExactWorkers,
+		ExactNoRelax:    s.ExactNoRelax,
+		ExactNoIncBound: s.ExactNoIncB,
+		Polish:          s.Polish,
+		PolishBudget:    s.PolishBudget,
 	}
 }
 
@@ -99,6 +101,11 @@ type ExactSpec struct {
 	// + LP) on every participant. Proven merges are byte-identical either
 	// way; the tiers only change how many nodes the proof costs.
 	NoRelax bool `json:"noRelax,omitempty"`
+	// NoIncBound forces every participant's bound onto the from-scratch
+	// per-node recomputation instead of the delta-maintained cache. The
+	// two paths are bit-identical, so proven merges never change; the
+	// flag exists for ablation and cross-checking.
+	NoIncBound bool `json:"noIncBound,omitempty"`
 }
 
 // Rules maps the spec's rule name (shared with the serve daemon's

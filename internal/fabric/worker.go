@@ -244,12 +244,13 @@ func (w *Worker) runSubtree(ctx context.Context, spec *ExactSpec, ck *Chunk,
 		return nil, err
 	}
 	opts := exact.Options{
-		Rule:               rule,
-		Ctx:                ctx,
-		MaxNodes:           spec.MaxNodes,
-		WarmStart:          spec.WarmStart,
-		DisableAssignBound: spec.NoRelax,
-		DisableLPBound:     spec.NoRelax,
+		Rule:                    rule,
+		Ctx:                     ctx,
+		MaxNodes:                spec.MaxNodes,
+		WarmStart:               spec.WarmStart,
+		DisableAssignBound:      spec.NoRelax,
+		DisableLPBound:          spec.NoRelax,
+		DisableIncrementalBound: spec.NoIncBound,
 	}
 	if !spec.DisableExchange {
 		opts.OnImprove = func(p float64, _ *core.Mapping) {
